@@ -1,0 +1,226 @@
+package kifmm
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (scaled to laptop size; see EXPERIMENTS.md for the
+// recorded full-size runs and the paper-vs-measured comparison), plus
+// microbenchmarks of the load-bearing kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Larger reproductions: go run ./cmd/fmmbench -exp <id> [flags].
+
+import (
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/experiments"
+	"kifmm/internal/geom"
+	ikern "kifmm/internal/kernel"
+	ikifmm "kifmm/internal/kifmm"
+	"kifmm/internal/octree"
+)
+
+// benchOpts keeps the experiment benchmarks in the seconds range.
+func benchOpts() experiments.Options {
+	return experiments.Options{PerRank: 2000, Ps: []int{1, 2, 4}, Q: 40, Workers: 2, N: 8000}
+}
+
+func BenchmarkTable2_PhaseBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(benchOpts())
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable3_GPUQSweep(b *testing.B) {
+	o := benchOpts()
+	o.N = 30000
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(o)
+		if len(r.Rows) != 3 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkFig3_StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(benchOpts())
+		if len(r.Uniform) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig4_WeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(benchOpts())
+		if len(r.Nonuniform) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig5_FlopVariance(b *testing.B) {
+	o := benchOpts()
+	o.Ps = []int{4}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(o)
+		if len(r.UniformFlops[0]) != 4 || len(r.UniformFlops[1]) != 4 {
+			b.Fatal("bad ranks")
+		}
+	}
+}
+
+func BenchmarkFig6_GPUWeakScaling(b *testing.B) {
+	o := experiments.Options{PerRank: 6000, Ps: []int{1, 2}, Workers: 2}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6(o)
+		if len(r.Points) != 2 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkAlg3_TrafficBound(b *testing.B) {
+	o := benchOpts()
+	o.Ps = []int{4, 8}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Alg3Bound(o)
+		for _, pt := range r.Points {
+			if float64(pt.MaxSent) > pt.Bound {
+				b.Fatalf("bound violated: %+v", pt)
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_ReduceAndM2L(b *testing.B) {
+	o := benchOpts()
+	o.Ps = []int{1, 2}
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablations(o)
+		if r.HypercubeEval <= 0 {
+			b.Fatal("no timing")
+		}
+	}
+}
+
+// ---- Microbenchmarks of the building blocks. ----
+
+func benchPoints(n int) ([]Point, []float64) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]Point, n)
+	den := make([]float64, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		den[i] = rng.NormFloat64()
+	}
+	return pts, den
+}
+
+func BenchmarkSequentialEvaluate_10k(b *testing.B) {
+	f, err := New(Options{PointsPerBox: 50, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, den := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Evaluate(pts, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedEvaluate_10k_p4(b *testing.B) {
+	f, err := New(Options{PointsPerBox: 50, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, den := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.EvaluateDistributed(4, pts, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAcceleratedEvaluate_10k(b *testing.B) {
+	f, err := New(Options{PointsPerBox: 100, Workers: 2, Accelerated: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, den := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Evaluate(pts, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOctreeBuild_50k(b *testing.B) {
+	pts := geom.Generate(geom.Ellipsoid, 50000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := octree.Build(pts, 50, 24)
+		if len(tr.Leaves) == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkInteractionLists_20k(b *testing.B) {
+	pts := geom.Generate(geom.Ellipsoid, 20000, 1)
+	tr := octree.Build(pts, 30, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.BuildLists(nil)
+	}
+}
+
+func BenchmarkM2LDense(b *testing.B) {
+	ops := ikifmm.NewOperators(ikern.Laplace{}, 6, 1e-9)
+	m := ops.M2L(2, 1, 0)
+	u := make([]float64, ops.UpwardLen())
+	out := make([]float64, ops.CheckLen())
+	for i := range u {
+		u[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(out, u)
+	}
+}
+
+func BenchmarkM2LFFTHadamard(b *testing.B) {
+	ops := ikifmm.NewOperators(ikern.Laplace{}, 6, 1e-9)
+	f := ikifmm.NewFFTM2L(ops)
+	u := make([]float64, ops.UpwardLen())
+	for i := range u {
+		u[i] = float64(i)
+	}
+	src := f.SourceSpectrum(u)
+	tf := f.Translation(2, 1, 0)
+	acc := [][]complex128{make([]complex128, f.GridLen())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ikifmm.Hadamard(acc, tf, src, 1)
+	}
+}
+
+func BenchmarkDirectSum_2k(b *testing.B) {
+	gp := geom.Generate(geom.Uniform, 2000, 3)
+	den := make([]float64, 2000)
+	for i := range den {
+		den[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ikern.Direct(ikern.Laplace{}, gp, gp, den)
+	}
+}

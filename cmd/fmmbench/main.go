@@ -1,0 +1,75 @@
+// Command fmmbench regenerates the paper's tables and figures at a chosen
+// scale. Each experiment id corresponds to one table or figure of the
+// evaluation section (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	fmmbench -exp table2                # Table II phase breakdown
+//	fmmbench -exp table3 -n 1000000     # Table III GPU q sweep
+//	fmmbench -exp fig3 -n 200000        # strong scaling
+//	fmmbench -exp fig4 -perrank 25000   # weak scaling
+//	fmmbench -exp fig5                  # flop variance across ranks
+//	fmmbench -exp fig6 -perrank 100000  # GPU weak scaling
+//	fmmbench -exp alg3bound             # reduce-scatter traffic bound
+//	fmmbench -exp ablations             # retired-design comparisons
+//	fmmbench -exp all                   # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kifmm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: table2,table3,fig3,fig4,fig5,fig6,alg3bound,ablations,all")
+		n       = flag.Int("n", 0, "global point count (strong-scaling experiments; 0 = default)")
+		perRank = flag.Int("perrank", 0, "points per rank (weak-scaling experiments; 0 = default)")
+		ps      = flag.String("p", "1,2,4,8", "comma-separated rank counts (powers of two)")
+		q       = flag.Int("q", 0, "points per box (0 = default)")
+		workers = flag.Int("workers", 0, "host worker goroutines per rank (0 = default)")
+		seed    = flag.Int64("seed", 0, "distribution seed (0 = default)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		N: *n, PerRank: *perRank, Q: *q, Workers: *workers, Seed: *seed,
+	}
+	for _, s := range strings.Split(*ps, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "fmmbench: bad rank count %q\n", s)
+			os.Exit(2)
+		}
+		opts.Ps = append(opts.Ps, v)
+	}
+
+	type runner struct {
+		id  string
+		run func(experiments.Options) string
+	}
+	runners := []runner{
+		{"table2", func(o experiments.Options) string { return experiments.Table2(o).Format() }},
+		{"table3", func(o experiments.Options) string { return experiments.Table3(o).Format() }},
+		{"fig3", func(o experiments.Options) string { return experiments.Fig3(o).Format() }},
+		{"fig4", func(o experiments.Options) string { return experiments.Fig4(o).Format() }},
+		{"fig5", func(o experiments.Options) string { return experiments.Fig5(o).Format() }},
+		{"fig6", func(o experiments.Options) string { return experiments.Fig6(o).Format() }},
+		{"alg3bound", func(o experiments.Options) string { return experiments.Alg3Bound(o).Format() }},
+		{"ablations", func(o experiments.Options) string { return experiments.Ablations(o).Format() }},
+	}
+	ran := false
+	for _, r := range runners {
+		if *exp == r.id || *exp == "all" {
+			fmt.Println(r.run(opts))
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "fmmbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

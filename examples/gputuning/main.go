@@ -1,0 +1,31 @@
+// Gputuning: the paper's single-device autotuning study (Table III). Sweeps
+// the points-per-box parameter q on the simulated streaming device and
+// reports the modeled per-phase times: small q shifts work into the
+// memory-bound V-list, large q into the compute-bound U-list, and the
+// production value sits between them.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"kifmm/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "point count (the paper uses 1M)")
+	workers := flag.Int("workers", 4, "host workers driving the device simulation")
+	flag.Parse()
+
+	res := experiments.Table3(experiments.Options{N: *n, Workers: *workers})
+	fmt.Println(res.Format())
+
+	best := res.Rows[0]
+	for _, r := range res.Rows[1:] {
+		if r.Total < best.Total {
+			best = r
+		}
+	}
+	fmt.Printf("best q for this device model: %d (%.3f s modeled)\n", best.Q, best.Total)
+	fmt.Println("this sweep is the tuning pass the paper folds into an autotuner")
+}

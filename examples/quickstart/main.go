@@ -1,0 +1,68 @@
+// Quickstart: evaluate the electrostatic potential of N random unit charges
+// with the FMM and check it against the exact O(N²) sum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"kifmm"
+)
+
+func main() {
+	const n = 50000
+	rng := rand.New(rand.NewSource(1))
+	points := make([]kifmm.Point, n)
+	charges := make([]float64, n)
+	for i := range points {
+		points[i] = kifmm.Point{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()}
+		charges[i] = rng.NormFloat64()
+	}
+
+	solver, err := kifmm.New(kifmm.Options{
+		Kernel:       kifmm.Laplace,
+		PointsPerBox: 60,
+		Order:        6,
+		Workers:      4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Now()
+	potentials, err := solver.Evaluate(points, charges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmmTime := time.Since(t0)
+
+	// Validate a random subset against the exact sum.
+	const sample = 200
+	var num, den float64
+	t0 = time.Now()
+	for s := 0; s < sample; s++ {
+		i := rng.Intn(n)
+		var exact float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := points[i].X - points[j].X
+			dy := points[i].Y - points[j].Y
+			dz := points[i].Z - points[j].Z
+			exact += charges[j] / (4 * math.Pi * math.Sqrt(dx*dx+dy*dy+dz*dz))
+		}
+		d := potentials[i] - exact
+		num += d * d
+		den += exact * exact
+	}
+	directTime := time.Since(t0) * time.Duration(n) / time.Duration(sample)
+
+	fmt.Printf("N = %d charges\n", n)
+	fmt.Printf("FMM evaluation:     %v\n", fmmTime)
+	fmt.Printf("direct (projected): %v\n", directTime)
+	fmt.Printf("sampled relative L2 error: %.2e\n", math.Sqrt(num/den))
+}

@@ -1,0 +1,266 @@
+package kifmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randInput(n int, sdim int, seed int64) ([]Point, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	den := make([]float64, n*sdim)
+	for i := range den {
+		den[i] = rng.NormFloat64()
+	}
+	return pts, den
+}
+
+func relErr(got, want []float64) float64 {
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	return math.Sqrt(num / den)
+}
+
+func TestNewDefaults(t *testing.T) {
+	f, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DensityDim() != 1 || f.PotentialDim() != 1 {
+		t.Fatalf("laplace dims wrong")
+	}
+	fs, err := New(Options{Kernel: Stokes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.DensityDim() != 3 || fs.PotentialDim() != 3 {
+		t.Fatalf("stokes dims wrong")
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := New(Options{Kernel: "helmholtz"}); err == nil {
+		t.Fatalf("unknown kernel accepted")
+	}
+	if _, err := New(Options{Order: 1}); err == nil {
+		t.Fatalf("order 1 accepted")
+	}
+	if _, err := New(Options{Kernel: Stokes, Accelerated: true}); err == nil {
+		t.Fatalf("accelerated stokes accepted")
+	}
+	if _, err := New(Options{MaxDepth: 99}); err == nil {
+		t.Fatalf("depth 99 accepted")
+	}
+}
+
+func TestEvaluateMatchesDirect(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(900, 1, 1)
+	got, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Direct(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got, want); e > 2e-5 {
+		t.Fatalf("rel err %g", e)
+	}
+}
+
+func TestEvaluateStokes(t *testing.T) {
+	f, err := New(Options{Kernel: Stokes, Order: 4, PointsPerBox: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(400, 3, 2)
+	got, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.Direct(pts, den)
+	if e := relErr(got, want); e > 5e-3 {
+		t.Fatalf("stokes rel err %g", e)
+	}
+}
+
+func TestEvaluateDistributedMatchesSequential(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 25, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(1000, 1, 3)
+	seq, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 4} {
+		dist, err := f.EvaluateDistributed(ranks, pts, den)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The distributed tree partitions space differently (complete
+		// octree with rank-boundary refinement), so the two runs are
+		// different same-accuracy approximations of the same sum.
+		if e := relErr(dist, seq); e > 1e-5 {
+			t.Fatalf("ranks=%d: distributed differs from sequential by %g", ranks, e)
+		}
+	}
+}
+
+func TestEvaluateDistributedValidation(t *testing.T) {
+	f, _ := New(Options{})
+	pts, den := randInput(10, 1, 4)
+	if _, err := f.EvaluateDistributed(3, pts, den); err == nil {
+		t.Fatalf("non-power-of-two ranks accepted")
+	}
+	if _, err := f.EvaluateDistributed(16, pts[:4], den[:4]); err == nil {
+		t.Fatalf("too few points accepted")
+	}
+}
+
+func TestEvaluateAccelerated(t *testing.T) {
+	f, err := New(Options{Accelerated: true, PointsPerBox: 60, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(1000, 1, 5)
+	got, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.Direct(pts, den)
+	if e := relErr(got, want); e > 5e-4 {
+		t.Fatalf("accelerated rel err %g (single precision)", e)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	f, _ := New(Options{})
+	if _, err := f.Evaluate(nil, nil); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	if _, err := f.Evaluate([]Point{{0.5, 0.5, 0.5}}, []float64{1, 2}); err == nil {
+		t.Fatalf("density length mismatch accepted")
+	}
+	if _, err := f.Evaluate([]Point{{1.5, 0.5, 0.5}}, []float64{1}); err == nil {
+		t.Fatalf("out-of-cube point accepted")
+	}
+}
+
+func TestCoincidentPointsHandled(t *testing.T) {
+	// Duplicate locations must not break evaluation or the distributed
+	// coordinate matching; coincident targets get identical potentials.
+	f, _ := New(Options{PointsPerBox: 10, MaxDepth: 8})
+	pts := []Point{
+		{0.25, 0.25, 0.25}, {0.25, 0.25, 0.25}, {0.75, 0.75, 0.75},
+		{0.1, 0.9, 0.4}, {0.6, 0.2, 0.8}, {0.3, 0.7, 0.5},
+	}
+	den := []float64{1, 2, 3, -1, 0.5, 1.5}
+	got, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.Direct(pts, den)
+	if e := relErr(got, want); e > 1e-4 {
+		t.Fatalf("coincident points rel err %g", e)
+	}
+	if math.Abs(got[0]-got[1]) > 1e-12 {
+		t.Fatalf("coincident targets should agree: %v vs %v", got[0], got[1])
+	}
+}
+
+func TestEvaluateBalancedTree(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 10, Balanced: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(700, 1, 31)
+	got, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.Direct(pts, den)
+	if e := relErr(got, want); e > 5e-5 {
+		t.Fatalf("balanced-tree rel err %g", e)
+	}
+}
+
+func TestEvaluateAtSeparateTargets(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, den := randInput(600, 1, 41)
+	trgs, _ := randInput(200, 1, 42)
+	got, err := f.EvaluateAt(trgs, srcs, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("wrong output length %d", len(got))
+	}
+	// Exact reference: direct sum from sources to targets.
+	var num, dn float64
+	for i, tp := range trgs {
+		var exact float64
+		for j, sp := range srcs {
+			dx, dy, dz := tp.X-sp.X, tp.Y-sp.Y, tp.Z-sp.Z
+			r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if r == 0 {
+				continue
+			}
+			exact += den[j] / (4 * math.Pi * r)
+		}
+		d := got[i] - exact
+		num += d * d
+		dn += exact * exact
+	}
+	if e := math.Sqrt(num / dn); e > 2e-5 {
+		t.Fatalf("EvaluateAt rel err %g", e)
+	}
+}
+
+func TestEvaluateAtValidation(t *testing.T) {
+	f, _ := New(Options{})
+	srcs, den := randInput(10, 1, 43)
+	if _, err := f.EvaluateAt(nil, srcs, den); err == nil {
+		t.Fatalf("empty targets accepted")
+	}
+	if _, err := f.EvaluateAt([]Point{{2, 0, 0}}, srcs, den); err == nil {
+		t.Fatalf("out-of-cube target accepted")
+	}
+}
+
+func TestTuneQReturnsCandidate(t *testing.T) {
+	f, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(3000, 1, 51)
+	q, err := f.TuneQ(pts, den, []int{20, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 20 && q != 80 {
+		t.Fatalf("TuneQ returned non-candidate %d", q)
+	}
+	if _, err := f.TuneQ(pts, den, []int{0}); err == nil {
+		t.Fatalf("invalid candidate accepted")
+	}
+	if _, err := f.TuneQ(nil, nil, nil); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module kifmm
+
+go 1.24

@@ -1,0 +1,189 @@
+// Package diag provides the phase timers and flop counters used to produce
+// the paper's performance tables: per-phase wall-clock time and flop counts,
+// reduced across ranks to "Max" and "Avg" columns exactly as in Table II.
+// (The paper used PETSc's logging for this role.)
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Standard phase names shared by the evaluation code and the reports. Using
+// the same strings everywhere keeps cross-rank reduction trivial.
+const (
+	PhaseTotalEval = "Total eval"
+	PhaseUpward    = "Upward"
+	PhaseComm      = "Comm."
+	PhaseUList     = "U-list"
+	PhaseVList     = "V-list"
+	PhaseWList     = "W-list"
+	PhaseXList     = "X-list"
+	PhaseDownward  = "Downward"
+	PhaseComp      = "Comp"
+
+	PhaseSetup = "Setup"
+	PhaseSort  = "Sort"
+	PhaseTree  = "Tree"
+	PhaseLET   = "LET"
+	PhaseBal   = "Balance"
+)
+
+// Profile accumulates named phase timings and flop counts for one rank.
+// All methods are safe for concurrent use.
+type Profile struct {
+	mu    sync.Mutex
+	times map[string]time.Duration
+	flops map[string]int64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{times: make(map[string]time.Duration), flops: make(map[string]int64)}
+}
+
+// Start begins timing the named phase and returns a stop function that adds
+// the elapsed time when called. Typical use: defer p.Start("U-list")().
+func (p *Profile) Start(name string) func() {
+	t0 := time.Now()
+	return func() { p.AddTime(name, time.Since(t0)) }
+}
+
+// AddTime adds d to the named phase's accumulated time.
+func (p *Profile) AddTime(name string, d time.Duration) {
+	p.mu.Lock()
+	p.times[name] += d
+	p.mu.Unlock()
+}
+
+// AddFlops adds n to the named phase's flop count.
+func (p *Profile) AddFlops(name string, n int64) {
+	p.mu.Lock()
+	p.flops[name] += n
+	p.mu.Unlock()
+}
+
+// Time returns the accumulated time of the named phase.
+func (p *Profile) Time(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.times[name]
+}
+
+// Flops returns the accumulated flops of the named phase.
+func (p *Profile) Flops(name string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flops[name]
+}
+
+// TotalFlops returns the sum over all phases.
+func (p *Profile) TotalFlops() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s int64
+	for _, v := range p.flops {
+		s += v
+	}
+	return s
+}
+
+// Phases returns the union of phase names seen by this profile, sorted.
+func (p *Profile) Phases() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := make(map[string]bool)
+	for k := range p.times {
+		set[k] = true
+	}
+	for k := range p.flops {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Row is one line of a cross-rank report: max/avg time and flops for one
+// phase, in the format of the paper's Table II.
+type Row struct {
+	Event    string
+	MaxTime  time.Duration
+	AvgTime  time.Duration
+	MaxFlops int64
+	AvgFlops float64
+}
+
+// Reduce combines per-rank profiles into per-phase max/avg rows. Phases are
+// reported in the order given; phases absent from every profile are skipped.
+func Reduce(profiles []*Profile, phases []string) []Row {
+	var rows []Row
+	for _, ph := range phases {
+		var maxT, sumT time.Duration
+		var maxF, sumF int64
+		seen := false
+		for _, p := range profiles {
+			t := p.Time(ph)
+			f := p.Flops(ph)
+			if t > 0 || f > 0 {
+				seen = true
+			}
+			if t > maxT {
+				maxT = t
+			}
+			if f > maxF {
+				maxF = f
+			}
+			sumT += t
+			sumF += f
+		}
+		if !seen {
+			continue
+		}
+		n := len(profiles)
+		rows = append(rows, Row{
+			Event:    ph,
+			MaxTime:  maxT,
+			AvgTime:  sumT / time.Duration(n),
+			MaxFlops: maxF,
+			AvgFlops: float64(sumF) / float64(n),
+		})
+	}
+	return rows
+}
+
+// EvalPhases is the row order of the paper's Table II.
+var EvalPhases = []string{
+	PhaseTotalEval, PhaseUpward, PhaseComm, PhaseUList, PhaseVList,
+	PhaseWList, PhaseXList, PhaseDownward, PhaseComp,
+}
+
+// SetupPhases is the row order for the setup-phase reports (Figures 3-4).
+var SetupPhases = []string{PhaseSetup, PhaseSort, PhaseTree, PhaseLET, PhaseBal}
+
+// FormatTable renders rows in the paper's Table II layout.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %14s %14s\n", "Event", "Max. Time", "Avg. Time", "Max. Flops", "Avg. Flops")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.3e %12.3e %14.3e %14.3e\n",
+			r.Event, r.MaxTime.Seconds(), r.AvgTime.Seconds(), float64(r.MaxFlops), r.AvgFlops)
+	}
+	return b.String()
+}
+
+// FlopsPerRank extracts each rank's flops for one phase (Figure 5's
+// flops-across-processes variance plot).
+func FlopsPerRank(profiles []*Profile, phase string) []int64 {
+	out := make([]int64, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Flops(phase)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package diag
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfileAccumulates(t *testing.T) {
+	p := NewProfile()
+	p.AddTime("A", time.Second)
+	p.AddTime("A", 2*time.Second)
+	p.AddFlops("A", 100)
+	p.AddFlops("B", 50)
+	if p.Time("A") != 3*time.Second {
+		t.Fatalf("time = %v", p.Time("A"))
+	}
+	if p.Flops("A") != 100 || p.Flops("B") != 50 {
+		t.Fatalf("flops wrong")
+	}
+	if p.TotalFlops() != 150 {
+		t.Fatalf("TotalFlops = %d", p.TotalFlops())
+	}
+	if p.Time("missing") != 0 || p.Flops("missing") != 0 {
+		t.Fatalf("missing phase should be zero")
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	p := NewProfile()
+	stop := p.Start("phase")
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if p.Time("phase") < 4*time.Millisecond {
+		t.Fatalf("timer too small: %v", p.Time("phase"))
+	}
+}
+
+func TestPhasesSorted(t *testing.T) {
+	p := NewProfile()
+	p.AddFlops("zeta", 1)
+	p.AddTime("alpha", 1)
+	ph := p.Phases()
+	if len(ph) != 2 || ph[0] != "alpha" || ph[1] != "zeta" {
+		t.Fatalf("phases = %v", ph)
+	}
+}
+
+func TestProfileConcurrentSafe(t *testing.T) {
+	p := NewProfile()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.AddFlops("x", 1)
+				p.AddTime("x", time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Flops("x") != 8000 {
+		t.Fatalf("lost updates: %d", p.Flops("x"))
+	}
+}
+
+func TestReduceMaxAvg(t *testing.T) {
+	p1, p2 := NewProfile(), NewProfile()
+	p1.AddTime("U-list", 2*time.Second)
+	p2.AddTime("U-list", 4*time.Second)
+	p1.AddFlops("U-list", 10)
+	p2.AddFlops("U-list", 30)
+	rows := Reduce([]*Profile{p1, p2}, []string{"U-list", "V-list"})
+	if len(rows) != 1 {
+		t.Fatalf("expected only seen phases, got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.MaxTime != 4*time.Second || r.AvgTime != 3*time.Second {
+		t.Fatalf("time reduction wrong: %+v", r)
+	}
+	if r.MaxFlops != 30 || r.AvgFlops != 20 {
+		t.Fatalf("flop reduction wrong: %+v", r)
+	}
+}
+
+func TestFormatTableIncludesRows(t *testing.T) {
+	p := NewProfile()
+	p.AddTime(PhaseTotalEval, time.Second)
+	p.AddFlops(PhaseTotalEval, 12345)
+	s := FormatTable(Reduce([]*Profile{p}, EvalPhases))
+	if !strings.Contains(s, "Total eval") || !strings.Contains(s, "Max. Time") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+}
+
+func TestFlopsPerRank(t *testing.T) {
+	ps := []*Profile{NewProfile(), NewProfile(), NewProfile()}
+	for i, p := range ps {
+		p.AddFlops(PhaseComp, int64(i*10))
+	}
+	got := FlopsPerRank(ps, PhaseComp)
+	if got[0] != 0 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("FlopsPerRank = %v", got)
+	}
+}

@@ -1,0 +1,269 @@
+package dtree
+
+import (
+	"sort"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+	"kifmm/internal/mpi"
+	"kifmm/internal/psort"
+)
+
+// pointRec pairs a point (and its density components) with its finest-level
+// Morton key for sorting.
+type pointRec struct {
+	Key morton.Key
+	Pt  geom.Point
+	Den []float64
+}
+
+func pointRecCodec(sdim int) psort.Codec[pointRec] {
+	return psort.Codec[pointRec]{
+		Enc: func(rs []pointRec) []byte {
+			var b []byte
+			for _, r := range rs {
+				b = appendKey(b, r.Key)
+				b = appendPoints(b, []geom.Point{r.Pt})
+				b = appendFloats(b, r.Den)
+			}
+			return b
+		},
+		Dec: func(b []byte) []pointRec {
+			var out []pointRec
+			for len(b) > 0 {
+				var r pointRec
+				r.Key, b = decodeKey(b)
+				var pts []geom.Point
+				pts, b = decodePoints(b)
+				r.Pt = pts[0]
+				r.Den, b = decodeFloats(b)
+				out = append(out, r)
+			}
+			return out
+		},
+	}
+}
+
+func lessRec(a, b pointRec) bool { return morton.Compare(a.Key, b.Key) < 0 }
+
+// coarsestBoundary returns the first finest-level key of the coarsest
+// octant that contains first but not prevLast — the shallowest admissible
+// region boundary between two adjacent ranks.
+func coarsestBoundary(prevLast, first morton.Key) morton.Key {
+	best := first
+	for l := first.Level() - 1; l >= 0; l-- {
+		anc := first.AncestorAt(l)
+		if anc.Contains(prevLast) {
+			break
+		}
+		best = anc.FirstDescendant(morton.MaxDepth)
+	}
+	return best
+}
+
+// Points2Octree builds the distributed complete linear octree: the input
+// points (arbitrarily distributed across ranks) are Morton-sorted with a
+// parallel sample sort, each rank derives its covering blocks from the
+// global point partition, and blocks holding more than q points are refined
+// top-down. The union of all ranks' returned leaves is a complete
+// (overlap-free, cube-covering) linear octree in global Morton order; each
+// leaf holds its points and their densities.
+//
+// den may be nil; otherwise it holds sdim components per point and travels
+// with the points. prof (optional) receives PhaseSort/PhaseTree timings.
+// Collective.
+func Points2Octree(c *mpi.Comm, pts []geom.Point, den []float64, sdim, q, maxDepth int, prof *diag.Profile) []Leaf {
+	if q < 1 {
+		panic("dtree: q must be >= 1")
+	}
+	if den != nil && len(den) != sdim*len(pts) {
+		panic("dtree: density length mismatch")
+	}
+	recs := make([]pointRec, len(pts))
+	for i, p := range pts {
+		recs[i] = pointRec{Key: morton.FromPoint(p.X, p.Y, p.Z, morton.MaxDepth), Pt: p}
+		if den != nil {
+			recs[i].Den = den[i*sdim : (i+1)*sdim]
+		}
+	}
+	stopSort := func() {}
+	if prof != nil {
+		stopSort = prof.Start(diag.PhaseSort)
+	}
+	sorted := psort.SampleSort(c, recs, lessRec, pointRecCodec(sdim))
+	stopSort()
+
+	stopTree := func() {}
+	if prof != nil {
+		stopTree = prof.Start(diag.PhaseTree)
+	}
+	defer stopTree()
+
+	// Region boundaries from the sorted point partition. Rank r's region
+	// starts at the COARSEST ancestor of its first point that excludes rank
+	// r−1's last point (the DENDRO-style block boundary): snapping to the
+	// coarsest admissible octant keeps boundary blocks shallow instead of
+	// descending to the full key depth, which would otherwise litter the
+	// tree with near-empty deep leaves along every rank boundary. Rank 0
+	// absorbs the leading gap, the last rank the trailing one. Every rank
+	// needs at least one point (n ≫ p).
+	payload := make([]int64, 7)
+	if len(sorted) > 0 {
+		first := morton.CodeOf(sorted[0].Key)
+		last := morton.CodeOf(sorted[len(sorted)-1].Key)
+		payload[0] = 1
+		payload[1] = int64(first.Hi)
+		payload[2] = int64(first.Lo)
+		payload[3] = int64(last.Hi)
+		payload[4] = int64(last.Lo)
+	}
+	all := c.AllGather(mpi.Int64sToBytes(payload))
+	p := c.Size()
+	firsts := make([]morton.Key, p)
+	lasts := make([]morton.Key, p)
+	for r := 0; r < p; r++ {
+		v := mpi.BytesToInt64s(all[r])
+		if v[0] != 1 {
+			panic("dtree: Points2Octree requires at least one point per rank after sorting")
+		}
+		firsts[r] = morton.KeyFromCode(morton.Code{Hi: uint64(v[1]), Lo: uint64(v[2])})
+		lasts[r] = morton.KeyFromCode(morton.Code{Hi: uint64(v[3]), Lo: uint64(v[4])})
+	}
+	// starts[r]: the first finest-level key of rank r's region.
+	starts := make([]morton.Key, p)
+	starts[0] = morton.KeyFromCode(morton.Code{})
+	for r := 1; r < p; r++ {
+		starts[r] = coarsestBoundary(lasts[r-1], firsts[r])
+	}
+	r := c.Rank()
+	from := starts[r]
+	var to morton.Key
+	if r == p-1 {
+		to = morton.KeyFromCode(morton.MaxCode())
+	} else {
+		next, _ := starts[r+1].CodeRange()
+		to = morton.KeyFromCode(next.Prev())
+	}
+
+	blocks := morton.CoveringRegion(from, to)
+
+	// Refine each block over its (contiguous) share of the sorted points.
+	var leaves []Leaf
+	var refine func(key morton.Key, lo, hi int)
+	refine = func(key morton.Key, lo, hi int) {
+		if hi-lo <= q || key.Level() >= maxDepth {
+			l := Leaf{Key: key}
+			if hi > lo {
+				l.Pts = make([]geom.Point, hi-lo)
+				if sdim > 0 {
+					l.Den = make([]float64, (hi-lo)*sdim)
+				}
+				for i := lo; i < hi; i++ {
+					l.Pts[i-lo] = sorted[i].Pt
+					if sdim > 0 && sorted[i].Den != nil {
+						copy(l.Den[(i-lo)*sdim:], sorted[i].Den)
+					}
+				}
+			}
+			leaves = append(leaves, l)
+			return
+		}
+		cur := lo
+		for ci := 0; ci < 8; ci++ {
+			child := key.Child(ci)
+			end := hi
+			if ci < 7 {
+				boundary := child.LastDescendant(morton.MaxDepth)
+				end = cur + sort.Search(hi-cur, func(i int) bool {
+					return morton.Compare(sorted[cur+i].Key, boundary) > 0
+				})
+			}
+			refine(child, cur, end)
+			cur = end
+		}
+	}
+	cur := 0
+	for _, blk := range blocks {
+		last := blk.LastDescendant(morton.MaxDepth)
+		end := cur + sort.Search(len(sorted)-cur, func(i int) bool {
+			return morton.Compare(sorted[cur+i].Key, last) > 0
+		})
+		refine(blk, cur, end)
+		cur = end
+	}
+	return leaves
+}
+
+// RepartitionByWeight redistributes the globally Morton-sorted leaves so
+// that per-rank total weights are approximately equal, preserving global
+// order (Algorithm 1 of Sundar et al., used by the paper's Section III-B
+// load balancing). weights[i] is the work estimate of leaves[i]. Collective.
+func RepartitionByWeight(c *mpi.Comm, leaves []Leaf, weights []int64) []Leaf {
+	if len(weights) != len(leaves) {
+		panic("dtree: weight count mismatch")
+	}
+	p := c.Size()
+	var localTotal int64
+	for _, w := range weights {
+		localTotal += w
+	}
+	offset := c.ExScanInt64([]int64{localTotal})[0]
+	total := c.SumInt64([]int64{localTotal})[0]
+	if total <= 0 {
+		total = 1
+	}
+
+	parts := make([][]Leaf, p)
+	prefix := offset
+	for i, l := range leaves {
+		mid := 2*prefix + weights[i] // 2× weight midpoint to stay integral
+		dst := int(mid * int64(p) / (2 * total))
+		if dst >= p {
+			dst = p - 1
+		}
+		parts[dst] = append(parts[dst], l)
+		prefix += weights[i]
+	}
+	enc := make([][]byte, p)
+	for i := range parts {
+		enc[i] = encodeLeaves(parts[i])
+	}
+	recv := c.Alltoallv(enc)
+	var out []Leaf
+	for src := 0; src < p; src++ {
+		out = append(out, decodeLeaves(recv[src])...)
+	}
+	return out
+}
+
+// LeafWorkWeights estimates per-leaf work from the interaction lists of the
+// assembled LET (U/V/W/X matrix-vector and direct-sum costs), the quantity
+// the paper's load balancing equalizes. It returns one weight per owned
+// leaf, aligned with dt.Leaves.
+func LeafWorkWeights(dt *DistTree, surfPoints int) []int64 {
+	t := dt.Tree
+	out := make([]int64, len(dt.Leaves))
+	for i, lf := range dt.Leaves {
+		idx, ok := t.Index(lf.Key)
+		if !ok {
+			continue
+		}
+		n := &t.Nodes[idx]
+		np := int64(n.NPoints())
+		var w int64
+		for _, a := range n.U {
+			w += np * int64(t.Nodes[a].NPoints())
+		}
+		s := int64(surfPoints)
+		w += int64(len(n.V)) * s * s
+		w += int64(len(n.W)) * np * s
+		w += int64(len(n.X)) * np * s
+		w += np * s // S2U + D2T
+		if w == 0 {
+			w = 1
+		}
+		out[i] = w
+	}
+	return out
+}

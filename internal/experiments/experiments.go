@@ -1,0 +1,190 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section at laptop scale, plus the calibrated extrapolations to
+// machine scale. Each experiment returns a typed result with a Format
+// method printing the same rows/series the paper reports; the cmd/fmmbench
+// CLI and the repository's benchmark suite are thin wrappers around this
+// package.
+//
+// Experiment ids (DESIGN.md §4):
+//
+//	table2    — per-phase Max/Avg time & flops (Table II)
+//	table3    — single-device points-per-box sweep (Table III)
+//	fig3      — strong scaling, uniform & nonuniform (Figure 3)
+//	fig4      — weak scaling + setup:evaluation ratio (Figure 4)
+//	fig5      — flops-per-rank variance (Figure 5)
+//	fig6      — device weak scaling vs CPU-only (Figure 6)
+//	alg3bound — Algorithm 3 traffic vs the m(3√p−2) bound
+//	ablations — owner-based reduction and dense-M2L comparisons
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+	"kifmm/internal/mpi"
+	"kifmm/internal/parfmm"
+)
+
+// Options configures an experiment run. Zero values select scaled-down
+// defaults that finish in seconds on a laptop.
+type Options struct {
+	// N is the global point count (strong scaling, GPU sweep).
+	N int
+	// PerRank is the per-rank point count (weak scaling).
+	PerRank int
+	// Ps are the rank counts to sweep (must be powers of two).
+	Ps []int
+	// Q is the points-per-box parameter.
+	Q int
+	// Workers bounds host parallelism per rank.
+	Workers int
+	// Seed fixes the particle distributions.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.PerRank == 0 {
+		o.PerRank = 4000
+	}
+	if len(o.Ps) == 0 {
+		o.Ps = []int{1, 2, 4, 8}
+	}
+	if o.Q == 0 {
+		o.Q = 50
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 2009
+	}
+}
+
+// runDistributed evaluates the FMM for one (distribution, n, p)
+// configuration and returns all per-rank results.
+func runDistributed(dist geom.Distribution, n, p int, cfg parfmm.Config, seed int64) []*parfmm.Result {
+	results := make([]*parfmm.Result, p)
+	mpi.Run(p, func(c *mpi.Comm) {
+		pts := geom.GenerateChunk(dist, n, seed, c.Rank(), p)
+		den := make([]float64, len(pts)*cfg.Kern.SrcDim())
+		for i := range den {
+			den[i] = 1
+		}
+		results[c.Rank()] = parfmm.Evaluate(c, pts, den, cfg)
+	})
+	return results
+}
+
+// profiles extracts the per-rank profiles.
+func profiles(results []*parfmm.Result) []*diag.Profile {
+	out := make([]*diag.Profile, len(results))
+	for i, r := range results {
+		out[i] = r.Prof
+	}
+	return out
+}
+
+// maxAvg reduces one phase across ranks.
+func maxAvg(results []*parfmm.Result, phase string) (mx, avg time.Duration) {
+	var sum time.Duration
+	for _, r := range results {
+		t := r.Prof.Time(phase)
+		if t > mx {
+			mx = t
+		}
+		sum += t
+	}
+	return mx, sum / time.Duration(len(results))
+}
+
+// Modeled per-rank timing constants: the paper's sustained 0.5 GFlop/s per
+// core plus Cray-SeaStar-like interconnect parameters. Measured wall-clock
+// cannot exhibit p-rank scaling when all ranks share two physical cores, so
+// the scaling studies report modeled per-rank times built from each rank's
+// MEASURED flops and MEASURED communication volumes.
+const (
+	modelHostFlops = 0.5e9 // flop/s per rank
+	modelNetBps    = 2e9   // bytes/s
+	modelLatency   = 5e-6  // seconds/message
+)
+
+// ScalingPoint is one sweep point of a scaling study.
+type ScalingPoint struct {
+	P        int
+	N        int
+	SetupMax time.Duration
+	SetupAvg time.Duration
+	SortAvg  time.Duration
+	EvalMax  time.Duration
+	EvalAvg  time.Duration
+	CommAvg  time.Duration
+	// ModelEvalAvg/ModelEvalMax are per-rank modeled evaluation times
+	// (measured flops at 0.5 GFlop/s + measured comm volume over the
+	// modeled interconnect).
+	ModelEvalAvg float64
+	ModelEvalMax float64
+	Efficiency   float64 // from modeled times, relative to the first point
+	SetupFrac    float64 // setup time / evaluation time
+	SortFrac     float64 // sort share of setup
+	TotalFlops   int64
+	MaxFlopRank  int64
+}
+
+func scalingPoint(results []*parfmm.Result, p, n int) ScalingPoint {
+	sp := ScalingPoint{P: p, N: n}
+	sp.SetupMax, sp.SetupAvg = maxAvg(results, diag.PhaseSetup)
+	_, sp.SortAvg = maxAvg(results, diag.PhaseSort)
+	sp.EvalMax, sp.EvalAvg = maxAvg(results, diag.PhaseTotalEval)
+	_, sp.CommAvg = maxAvg(results, diag.PhaseComm)
+	var modelSum float64
+	for _, r := range results {
+		f := r.Prof.Flops(diag.PhaseComp)
+		sp.TotalFlops += f
+		if f > sp.MaxFlopRank {
+			sp.MaxFlopRank = f
+		}
+		model := float64(f)/modelHostFlops +
+			float64(r.EvalCommBytes)/modelNetBps +
+			float64(r.EvalCommMsgs)*modelLatency
+		modelSum += model
+		if model > sp.ModelEvalMax {
+			sp.ModelEvalMax = model
+		}
+	}
+	sp.ModelEvalAvg = modelSum / float64(len(results))
+	if sp.EvalAvg > 0 {
+		sp.SetupFrac = float64(sp.SetupAvg) / float64(sp.EvalAvg)
+	}
+	if sp.SetupAvg > 0 {
+		sp.SortFrac = float64(sp.SortAvg) / float64(sp.SetupAvg)
+	}
+	return sp
+}
+
+func formatScaling(title string, pts []ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%6s %10s %12s %12s %14s %14s %6s\n",
+		"p", "N", "setup(avg)", "setup(max)", "eval(avg mdl)", "eval(max mdl)", "eff")
+	for _, s := range pts {
+		fmt.Fprintf(&b, "%6d %10d %12.3f %12.3f %14.3f %14.3f %6.2f\n",
+			s.P, s.N, s.SetupAvg.Seconds(), s.SetupMax.Seconds(),
+			s.ModelEvalAvg, s.ModelEvalMax, s.Efficiency)
+	}
+	return b.String()
+}
+
+func baseConfig(o Options, kern kernel.Kernel) parfmm.Config {
+	return parfmm.Config{
+		Kern:        kern,
+		Q:           o.Q,
+		SurfOrder:   6,
+		Workers:     o.Workers,
+		LoadBalance: true,
+		UseFFTM2L:   true,
+	}
+}

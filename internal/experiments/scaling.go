@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+	"kifmm/internal/perfmodel"
+)
+
+// Fig3Result reproduces Figure 3 (strong scaling): fixed global N, rank
+// counts swept; the paper reports per-phase averages (bars) and the maximum
+// across ranks (dots), with 80–90% efficiency from 512→8K ranks.
+type Fig3Result struct {
+	Uniform    []ScalingPoint
+	Nonuniform []ScalingPoint
+}
+
+// Fig3 runs the strong-scaling study (uniform and nonuniform).
+func Fig3(o Options) *Fig3Result {
+	o.defaults()
+	if o.N == 0 {
+		o.N = 40000
+	}
+	res := &Fig3Result{}
+	for _, dist := range []geom.Distribution{geom.Uniform, geom.Ellipsoid} {
+		var pts []ScalingPoint
+		for _, p := range o.Ps {
+			cfg := baseConfig(o, kernel.Laplace{})
+			results := runDistributed(dist, o.N, p, cfg, o.Seed)
+			pts = append(pts, scalingPoint(results, p, o.N))
+		}
+		// Efficiency relative to the first point: E = T₀·p₀/(T_p·p), from
+		// the modeled per-rank times.
+		if len(pts) > 0 && pts[0].ModelEvalAvg > 0 {
+			t0 := pts[0].ModelEvalAvg * float64(pts[0].P)
+			for i := range pts {
+				pts[i].Efficiency = t0 / (pts[i].ModelEvalAvg * float64(pts[i].P))
+			}
+		}
+		if dist == geom.Uniform {
+			res.Uniform = pts
+		} else {
+			res.Nonuniform = pts
+		}
+	}
+	return res
+}
+
+// Format renders the two panels of Figure 3.
+func (r *Fig3Result) Format() string {
+	return formatScaling("Figure 3 (left): strong scaling, uniform", r.Uniform) +
+		formatScaling("Figure 3 (right): strong scaling, nonuniform", r.Nonuniform)
+}
+
+// Fig4Result reproduces Figure 4 (weak scaling): fixed points per rank.
+// The paper's headline: unlike SC'03, tree construction is only a small
+// part of the total (about 10% of evaluation at 65K ranks).
+type Fig4Result struct {
+	Uniform    []ScalingPoint
+	Nonuniform []ScalingPoint
+	// SetupModel/EvalModel are calibrated §III-D complexity fits used to
+	// extrapolate to the paper's scale.
+	SetupModel *perfmodel.Model
+	EvalModel  *perfmodel.Model
+}
+
+// Fig4 runs the weak-scaling study.
+func Fig4(o Options) *Fig4Result {
+	o.defaults()
+	res := &Fig4Result{}
+	var setupSamples, evalSamples []perfmodel.Sample
+	for _, dist := range []geom.Distribution{geom.Uniform, geom.Ellipsoid} {
+		var pts []ScalingPoint
+		for _, p := range o.Ps {
+			n := o.PerRank * p
+			cfg := baseConfig(o, kernel.Laplace{})
+			results := runDistributed(dist, n, p, cfg, o.Seed)
+			sp := scalingPoint(results, p, n)
+			pts = append(pts, sp)
+			// Fit on the nonuniform series: its deep trees are free of the
+			// level-parity sawtooth that shallow uniform trees show when the
+			// per-rank count is held fixed while p doubles. Setup times are
+			// wall-clock of p ranks contending for the host's cores, so they
+			// are de-contended to isolated per-rank time before fitting.
+			if dist == geom.Ellipsoid {
+				contention := float64(runtime.NumCPU()) / float64(p)
+				if contention > 1 {
+					contention = 1
+				}
+				setupSamples = append(setupSamples,
+					perfmodel.Sample{N: n, P: p, T: sp.SetupAvg.Seconds() * contention})
+				evalSamples = append(evalSamples, perfmodel.Sample{N: n, P: p, T: sp.ModelEvalAvg})
+			}
+		}
+		if len(pts) > 0 && pts[0].ModelEvalAvg > 0 {
+			t0 := pts[0].ModelEvalAvg
+			for i := range pts {
+				pts[i].Efficiency = t0 / pts[i].ModelEvalAvg
+			}
+		}
+		if dist == geom.Uniform {
+			res.Uniform = pts
+		} else {
+			res.Nonuniform = pts
+		}
+	}
+	if m, err := perfmodel.Fit(perfmodel.SetupTerms, setupSamples); err == nil {
+		res.SetupModel = m
+	}
+	if m, err := perfmodel.Fit(perfmodel.EvalTerms, evalSamples); err == nil {
+		res.EvalModel = m
+	}
+	return res
+}
+
+// Format renders the two panels of Figure 4 plus the setup:eval ratios and
+// the paper-scale extrapolation.
+func (r *Fig4Result) Format() string {
+	var b strings.Builder
+	b.WriteString(formatScaling("Figure 4 (left): weak scaling, uniform", r.Uniform))
+	b.WriteString(formatScaling("Figure 4 (right): weak scaling, nonuniform", r.Nonuniform))
+	b.WriteString("setup share of evaluation (paper: tree setup is a small fraction):\n")
+	for _, s := range r.Nonuniform {
+		fmt.Fprintf(&b, "  p=%4d  setup/eval = %.2f   sort/setup = %.2f\n", s.P, s.SetupFrac, s.SortFrac)
+	}
+	if r.SetupModel != nil && r.EvalModel != nil {
+		sc := perfmodel.KrakenTableII()
+		fmt.Fprintf(&b, "extrapolation to %d ranks × %d pts (fit R² setup %.3f eval %.3f):\n",
+			sc.Ranks, sc.PointsPerRank, r.SetupModel.R2, r.EvalModel.R2)
+		fmt.Fprintf(&b, "  modeled setup %.1f s, eval %.1f s\n",
+			r.SetupModel.Extrapolate(sc), r.EvalModel.Extrapolate(sc))
+	}
+	return b.String()
+}
+
+// Fig5Result reproduces Figure 5: per-rank flop counts for uniform and
+// nonuniform distributions, with and without the work-weighted
+// repartitioning. The paper's panel shows the nonuniform distribution's
+// much larger variance; at laptop scale the weighted repartition nearly
+// erases it, so both series are reported to expose the contrast the
+// balancer removes.
+type Fig5Result struct {
+	P int
+	// [distribution][balanced] → per-rank flops.
+	UniformFlops     [2][]int64
+	NonuniformFlops  [2][]int64
+	UniformSpread    [2]float64 // max/avg, [unbalanced, balanced]
+	NonuniformSpread [2]float64
+}
+
+// Fig5 runs the flop-variance study.
+func Fig5(o Options) *Fig5Result {
+	o.defaults()
+	p := o.Ps[len(o.Ps)-1]
+	res := &Fig5Result{P: p}
+	for _, dist := range []geom.Distribution{geom.Uniform, geom.Ellipsoid} {
+		for bi, balanced := range []bool{false, true} {
+			n := o.PerRank * p
+			cfg := baseConfig(o, kernel.Laplace{})
+			cfg.LoadBalance = balanced
+			results := runDistributed(dist, n, p, cfg, o.Seed)
+			flops := diag.FlopsPerRank(profiles(results), diag.PhaseComp)
+			var mx, sum int64
+			for _, f := range flops {
+				if f > mx {
+					mx = f
+				}
+				sum += f
+			}
+			spread := float64(mx) * float64(p) / float64(sum)
+			if dist == geom.Uniform {
+				res.UniformFlops[bi], res.UniformSpread[bi] = flops, spread
+			} else {
+				res.NonuniformFlops[bi], res.NonuniformSpread[bi] = flops, spread
+			}
+		}
+	}
+	return res
+}
+
+// Format renders the flops-per-rank series.
+func (r *Fig5Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: flops across ranks (p=%d)\n", r.P)
+	fmt.Fprintf(&b, "%6s %16s %16s %16s %16s\n", "rank",
+		"nonunif(unbal)", "nonunif(bal)", "unif(unbal)", "unif(bal)")
+	for i := range r.UniformFlops[0] {
+		fmt.Fprintf(&b, "%6d %16d %16d %16d %16d\n", i,
+			r.NonuniformFlops[0][i], r.NonuniformFlops[1][i],
+			r.UniformFlops[0][i], r.UniformFlops[1][i])
+	}
+	fmt.Fprintf(&b, "max/avg spread: nonuniform %.2f → %.2f, uniform %.2f → %.2f (unbalanced → balanced)\n",
+		r.NonuniformSpread[0], r.NonuniformSpread[1],
+		r.UniformSpread[0], r.UniformSpread[1])
+	return b.String()
+}
+
+// Table2Result reproduces Table II: the per-phase Max/Avg breakdown of the
+// evaluation phase for the nonuniform Stokes run, measured at laptop scale
+// and extrapolated to the paper's 65,536-rank configuration.
+type Table2Result struct {
+	P          int
+	PerRank    int
+	Rows       []diag.Row
+	SetupTime  time.Duration
+	SortTime   time.Duration
+	TreeDepth  int
+	EvalModel  *perfmodel.Model
+	PaperEvalS float64 // extrapolated total evaluation at Kraken scale
+}
+
+// Table2 runs the phase-breakdown study (Stokes kernel, nonuniform).
+func Table2(o Options) *Table2Result {
+	o.defaults()
+	p := o.Ps[len(o.Ps)-1]
+	cfg := baseConfig(o, kernel.Stokes{})
+	cfg.SurfOrder = 4 // Stokes triples the per-surface-point dof
+
+	var evalSamples []perfmodel.Sample
+	var rows []diag.Row
+	res := &Table2Result{P: p, PerRank: o.PerRank}
+	for _, pi := range o.Ps {
+		n := o.PerRank * pi
+		rr := runDistributed(geom.Ellipsoid, n, pi, cfg, o.Seed)
+		sp := scalingPoint(rr, pi, n)
+		evalSamples = append(evalSamples, perfmodel.Sample{N: n, P: pi, T: sp.ModelEvalAvg})
+		if pi == p {
+			rows = diag.Reduce(profiles(rr), diag.EvalPhases)
+			res.SetupTime, _ = maxAvg(rr, diag.PhaseSetup)
+			res.SortTime, _ = maxAvg(rr, diag.PhaseSort)
+			depth := 0
+			for _, r := range rr {
+				if d := r.Tree.Tree.MaxLevel(); d > depth {
+					depth = d
+				}
+			}
+			res.TreeDepth = depth
+		}
+	}
+	res.Rows = rows
+	if m, err := perfmodel.Fit(perfmodel.EvalTerms, evalSamples); err == nil {
+		res.EvalModel = m
+		res.PaperEvalS = m.Extrapolate(perfmodel.KrakenTableII())
+	}
+	return res
+}
+
+// Format renders the Table II layout plus the setup line and extrapolation.
+func (r *Table2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: %d ranks × %d points/rank, Stokes, nonuniform (tree depth %d)\n",
+		r.P, r.PerRank, r.TreeDepth)
+	b.WriteString(diag.FormatTable(r.Rows))
+	fmt.Fprintf(&b, "setup %.2f s (%.2f s in the particle sort)\n",
+		r.SetupTime.Seconds(), r.SortTime.Seconds())
+	if r.EvalModel != nil {
+		fmt.Fprintf(&b, "extrapolated evaluation at 65,536 ranks × 150K pts: %.0f s (paper: 137 s max / 120 s avg)\n",
+			r.PaperEvalS)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+// Package fft implements complex discrete Fourier transforms: an iterative
+// radix-2 Cooley-Tukey path for power-of-two lengths and Bluestein's chirp-z
+// algorithm for arbitrary lengths, plus 3-D transforms built from 1-D passes.
+//
+// The FMM uses it to diagonalize the V-list (multipole-to-local) translation:
+// the map from upward-equivalent densities to downward-check potentials on
+// regular surface grids is a 3-D convolution, so it becomes a pointwise
+// (Hadamard) product in frequency space.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan caches twiddle factors (and, for non-power-of-two sizes, Bluestein
+// scratch vectors) for transforms of a fixed length. A Plan is safe for
+// concurrent use by multiple goroutines once created.
+type Plan struct {
+	n        int
+	pow2     bool
+	logn     int
+	perm     []int        // bit-reversal permutation (pow2 path)
+	twiddles []complex128 // forward twiddles per stage, flattened (pow2 path)
+
+	// Bluestein path.
+	m      int          // power-of-two convolution length >= 2n-1
+	chirp  []complex128 // w_k = exp(-iπk²/n), k = 0..n-1
+	bfft   []complex128 // FFT of the padded reciprocal chirp filter
+	sub    *Plan        // radix-2 plan of length m
+	scaleM float64
+}
+
+// NewPlan creates a transform plan for length n (n >= 1).
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic("fft: length must be >= 1")
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.logn = bits.TrailingZeros(uint(n))
+		p.perm = bitRevPerm(n)
+		p.twiddles = makeTwiddles(n)
+		return p
+	}
+	// Bluestein: x_k·w_k convolved with conj(chirp) gives the DFT.
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k² mod 2n to avoid precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		theta := math.Pi * float64(kk) / float64(n)
+		p.chirp[k] = cmplx.Exp(complex(0, -theta))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.m = m
+	p.sub = NewPlan(m)
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(p.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(p.chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	p.sub.forwardPow2(b)
+	p.bfft = b
+	p.scaleM = 1 / float64(m)
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT X_k = Σ_j x_j e^{-2πi jk/n}.
+func (p *Plan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic("fft: Forward length mismatch")
+	}
+	if p.pow2 {
+		p.forwardPow2(x)
+		return
+	}
+	p.bluestein(x, false)
+}
+
+// Inverse computes the in-place inverse DFT x_j = (1/n) Σ_k X_k e^{+2πi jk/n}.
+func (p *Plan) Inverse(x []complex128) {
+	if len(x) != p.n {
+		panic("fft: Inverse length mismatch")
+	}
+	if p.pow2 {
+		conjugate(x)
+		p.forwardPow2(x)
+		conjugate(x)
+		scale(x, 1/float64(p.n))
+		return
+	}
+	p.bluestein(x, true)
+}
+
+func (p *Plan) bluestein(x []complex128, inverse bool) {
+	n, m := p.n, p.m
+	a := make([]complex128, m)
+	if inverse {
+		for k := 0; k < n; k++ {
+			a[k] = x[k] * cmplx.Conj(p.chirp[k])
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			a[k] = x[k] * p.chirp[k]
+		}
+	}
+	p.sub.forwardPow2(a)
+	if inverse {
+		for i := range a {
+			a[i] *= cmplx.Conj(p.bfft[i])
+		}
+	} else {
+		for i := range a {
+			a[i] *= p.bfft[i]
+		}
+	}
+	// Inverse FFT of length m via conjugation.
+	conjugate(a)
+	p.sub.forwardPow2(a)
+	conjugate(a)
+	if inverse {
+		s := p.scaleM / float64(n)
+		for k := 0; k < n; k++ {
+			x[k] = a[k] * cmplx.Conj(p.chirp[k]) * complex(s, 0)
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			x[k] = a[k] * p.chirp[k] * complex(p.scaleM, 0)
+		}
+	}
+}
+
+func (p *Plan) forwardPow2(x []complex128) {
+	n := len(x)
+	for i, j := range p.perm {
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := p.twiddles
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[off : off+half]
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * stage[k]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+		off += half
+	}
+}
+
+func bitRevPerm(n int) []int {
+	logn := bits.TrailingZeros(uint(n))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logn))
+	}
+	if n == 1 {
+		perm[0] = 0
+	}
+	return perm
+}
+
+func makeTwiddles(n int) []complex128 {
+	total := 0
+	for size := 2; size <= n; size <<= 1 {
+		total += size >> 1
+	}
+	tw := make([]complex128, total)
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		for k := 0; k < half; k++ {
+			theta := -2 * math.Pi * float64(k) / float64(size)
+			tw[off+k] = cmplx.Exp(complex(0, theta))
+		}
+		off += half
+	}
+	return tw
+}
+
+func conjugate(x []complex128) {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+}
+
+func scale(x []complex128, s float64) {
+	for i := range x {
+		x[i] *= complex(s, 0)
+	}
+}

@@ -1,0 +1,106 @@
+package fft
+
+// Plan3D performs 3-D complex DFTs on nx×ny×nz grids stored in row-major
+// order (index = (ix*ny + iy)*nz + iz). All three dimension lengths may
+// differ; each axis reuses a cached 1-D plan.
+type Plan3D struct {
+	Nx, Ny, Nz int
+	px, py, pz *Plan
+}
+
+// NewPlan3D creates a 3-D plan for an nx×ny×nz grid.
+func NewPlan3D(nx, ny, nz int) *Plan3D {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("fft: invalid 3-D dimensions")
+	}
+	p := &Plan3D{Nx: nx, Ny: ny, Nz: nz}
+	p.px = NewPlan(nx)
+	p.py = NewPlan(ny)
+	if nz == nx {
+		p.pz = p.px
+	} else if nz == ny {
+		p.pz = p.py
+	} else {
+		p.pz = NewPlan(nz)
+	}
+	return p
+}
+
+// Size returns the total number of grid points.
+func (p *Plan3D) Size() int { return p.Nx * p.Ny * p.Nz }
+
+// Forward computes the in-place forward 3-D DFT of x (length Nx*Ny*Nz).
+func (p *Plan3D) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the in-place inverse 3-D DFT (normalized by 1/(Nx·Ny·Nz)).
+func (p *Plan3D) Inverse(x []complex128) { p.transform(x, true) }
+
+func (p *Plan3D) transform(x []complex128, inverse bool) {
+	if len(x) != p.Size() {
+		panic("fft: 3-D transform length mismatch")
+	}
+	nx, ny, nz := p.Nx, p.Ny, p.Nz
+	apply := func(pl *Plan, v []complex128) {
+		if inverse {
+			pl.Inverse(v)
+		} else {
+			pl.Forward(v)
+		}
+	}
+	// z-axis passes: contiguous rows.
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			base := (ix*ny + iy) * nz
+			apply(p.pz, x[base:base+nz])
+		}
+	}
+	// y-axis passes: stride nz.
+	buf := make([]complex128, ny)
+	for ix := 0; ix < nx; ix++ {
+		for iz := 0; iz < nz; iz++ {
+			base := ix*ny*nz + iz
+			for iy := 0; iy < ny; iy++ {
+				buf[iy] = x[base+iy*nz]
+			}
+			apply(p.py, buf)
+			for iy := 0; iy < ny; iy++ {
+				x[base+iy*nz] = buf[iy]
+			}
+		}
+	}
+	// x-axis passes: stride ny*nz.
+	if cap(buf) < nx {
+		buf = make([]complex128, nx)
+	}
+	buf = buf[:nx]
+	stride := ny * nz
+	for iy := 0; iy < ny; iy++ {
+		for iz := 0; iz < nz; iz++ {
+			base := iy*nz + iz
+			for ix := 0; ix < nx; ix++ {
+				buf[ix] = x[base+ix*stride]
+			}
+			apply(p.px, buf)
+			for ix := 0; ix < nx; ix++ {
+				x[base+ix*stride] = buf[ix]
+			}
+		}
+	}
+}
+
+// Convolve3D returns the circular convolution of a and b on the plan's grid
+// (both length Nx*Ny*Nz), computed via forward transforms, a Hadamard
+// product, and an inverse transform. Inputs are not modified.
+func (p *Plan3D) Convolve3D(a, b []complex128) []complex128 {
+	fa := make([]complex128, len(a))
+	fb := make([]complex128, len(b))
+	copy(fa, a)
+	copy(fb, b)
+	p.Forward(fa)
+	p.Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.Inverse(fa)
+	return fa
+}

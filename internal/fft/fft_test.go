@@ -1,0 +1,237 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			theta := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var mx float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 15, 27, 32, 100, 128} {
+		x := randVec(rng, n)
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		NewPlan(n).Forward(got)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: forward diff %g", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 4, 6, 9, 16, 31, 64, 125} {
+		p := NewPlan(n)
+		x := randVec(rng, n)
+		y := make([]complex128, n)
+		copy(y, x)
+		p.Forward(y)
+		p.Inverse(y)
+		if d := maxDiff(x, y); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: roundtrip diff %g", n, d)
+		}
+	}
+}
+
+func TestForwardImpulseIsFlat(t *testing.T) {
+	for _, n := range []int{4, 7, 16} {
+		x := make([]complex128, n)
+		x[0] = 1
+		NewPlan(n).Forward(x)
+		for i, v := range x {
+			if cmplx.Abs(v-1) > 1e-12 {
+				t.Fatalf("n=%d: impulse spectrum[%d]=%v", n, i, v)
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	p := NewPlan(n)
+	a, b := randVec(rng, n), randVec(rng, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fs := append([]complex128(nil), sum...)
+	p.Forward(fa)
+	p.Forward(fb)
+	p.Forward(fs)
+	for i := range fs {
+		if cmplx.Abs(fs[i]-(2*fa[i]+3*fb[i])) > 1e-10 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		x := randVec(rng, n)
+		var et float64
+		for _, v := range x {
+			et += real(v)*real(v) + imag(v)*imag(v)
+		}
+		p := NewPlan(n)
+		p.Forward(x)
+		var ef float64
+		for _, v := range x {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(ef/float64(n)-et) <= 1e-8*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanLenAndValidation(t *testing.T) {
+	if NewPlan(8).Len() != 8 {
+		t.Fatalf("Len wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for n=0")
+		}
+	}()
+	NewPlan(0)
+}
+
+func naiveDFT3D(x []complex128, nx, ny, nz int) []complex128 {
+	out := make([]complex128, len(x))
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			for kz := 0; kz < nz; kz++ {
+				var s complex128
+				for jx := 0; jx < nx; jx++ {
+					for jy := 0; jy < ny; jy++ {
+						for jz := 0; jz < nz; jz++ {
+							theta := -2 * math.Pi * (float64(jx*kx)/float64(nx) +
+								float64(jy*ky)/float64(ny) + float64(jz*kz)/float64(nz))
+							s += x[(jx*ny+jy)*nz+jz] * cmplx.Exp(complex(0, theta))
+						}
+					}
+				}
+				out[(kx*ny+ky)*nz+kz] = s
+			}
+		}
+	}
+	return out
+}
+
+func Test3DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dims := range [][3]int{{2, 2, 2}, {4, 4, 4}, {3, 4, 5}, {2, 6, 3}} {
+		nx, ny, nz := dims[0], dims[1], dims[2]
+		x := randVec(rng, nx*ny*nz)
+		want := naiveDFT3D(x, nx, ny, nz)
+		got := append([]complex128(nil), x...)
+		NewPlan3D(nx, ny, nz).Forward(got)
+		if d := maxDiff(got, want); d > 1e-8 {
+			t.Fatalf("dims %v: diff %g", dims, d)
+		}
+	}
+}
+
+func Test3DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPlan3D(4, 6, 8)
+	x := randVec(rng, p.Size())
+	y := append([]complex128(nil), x...)
+	p.Forward(y)
+	p.Inverse(y)
+	if d := maxDiff(x, y); d > 1e-10 {
+		t.Fatalf("3-D roundtrip diff %g", d)
+	}
+}
+
+func TestConvolve3DMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	nx, ny, nz := 4, 4, 4
+	p := NewPlan3D(nx, ny, nz)
+	a, b := randVec(rng, p.Size()), randVec(rng, p.Size())
+	got := p.Convolve3D(a, b)
+	// Direct circular convolution.
+	want := make([]complex128, p.Size())
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			for kz := 0; kz < nz; kz++ {
+				var s complex128
+				for jx := 0; jx < nx; jx++ {
+					for jy := 0; jy < ny; jy++ {
+						for jz := 0; jz < nz; jz++ {
+							ax := ((kx-jx)%nx + nx) % nx
+							ay := ((ky-jy)%ny + ny) % ny
+							az := ((kz-jz)%nz + nz) % nz
+							s += a[(jx*ny+jy)*nz+jz] * b[(ax*ny+ay)*nz+az]
+						}
+					}
+				}
+				want[(kx*ny+ky)*nz+kz] = s
+			}
+		}
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("convolution diff %g", d)
+	}
+}
+
+func BenchmarkForward64(b *testing.B) {
+	p := NewPlan(64)
+	x := randVec(rand.New(rand.NewSource(1)), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkForward3D_16(b *testing.B) {
+	p := NewPlan3D(16, 16, 16)
+	x := randVec(rand.New(rand.NewSource(1)), p.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}

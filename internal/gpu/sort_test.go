@@ -1,0 +1,96 @@
+package gpu
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kifmm/internal/stream"
+)
+
+func TestSortCodesMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(stream.NewDevice(stream.DefaultParams()))
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 100, 1000, 4097} {
+		in := make([]uint64, n)
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		orig := append([]uint64(nil), in...)
+		got := a.SortCodes(in)
+		want := append([]uint64(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != n {
+			t.Fatalf("n=%d: length changed to %d", n, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+		for i := range in {
+			if in[i] != orig[i] {
+				t.Fatalf("n=%d: input mutated", n)
+			}
+		}
+	}
+}
+
+func TestSortCodesQuickProperty(t *testing.T) {
+	a := New(stream.NewDevice(stream.DefaultParams()))
+	f := func(in []uint64) bool {
+		if len(in) > 2000 {
+			in = in[:2000]
+		}
+		got := a.SortCodes(in)
+		if len(got) != len(in) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		// Same multiset.
+		count := make(map[uint64]int)
+		for _, v := range in {
+			count[v]++
+		}
+		for _, v := range got {
+			count[v]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortCodesModeledTimeRecorded(t *testing.T) {
+	dev := stream.NewDevice(stream.DefaultParams())
+	a := New(dev)
+	in := make([]uint64, 100000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	before := dev.Snapshot()
+	a.SortCodes(in)
+	delta := dev.Snapshot().Sub(before)
+	if delta.Flops == 0 || delta.CoalescedBytes == 0 || delta.Launches == 0 {
+		t.Fatalf("device counters not recorded: %+v", delta)
+	}
+	// log²-pass count: 2^17 padded → 17·18/2 = 153 launches.
+	if delta.Launches != 153 {
+		t.Fatalf("expected 153 bitonic passes, got %d", delta.Launches)
+	}
+	if dev.ModeledTime(delta) <= 0 {
+		t.Fatalf("no modeled time")
+	}
+}

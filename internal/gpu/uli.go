@@ -1,0 +1,167 @@
+package gpu
+
+import (
+	"kifmm/internal/diag"
+	"kifmm/internal/kernel"
+	"kifmm/internal/kifmm"
+	"kifmm/internal/stream"
+)
+
+// ULI runs Algorithm 4: the direct (U-list) interactions as a streaming
+// kernel. Target boxes are padded to the thread-block size; each block
+// cooperatively stages tiles of source points in shared memory and every
+// thread accumulates its own target's potential over the tile; the singular
+// self pair is suppressed by the IEEE max(NaN, x) = x identity instead of a
+// branch.
+func (a *FMMAccel) ULI(e *kifmm.Engine) {
+	a.requireLaplace(e)
+	a.phase(diag.PhaseUList, func() { a.uli(e) })
+}
+
+func (a *FMMAccel) uli(e *kifmm.Engine) {
+	t := e.Tree
+	b := a.BlockSize
+
+	// ---- Data-structure translation: LET → flat streaming layout. ----
+	// Source side: every leaf with points, flattened once.
+	srcStart := make(map[int32]int32, len(t.Leaves))
+	var sx, sy, sz, sden []float32
+	for _, li := range t.Leaves {
+		n := &t.Nodes[li]
+		if n.NPoints() == 0 {
+			continue
+		}
+		srcStart[li] = int32(len(sx))
+		for pi := int(n.PtLo); pi < int(n.PtHi); pi++ {
+			p := t.Points[pi]
+			sx = append(sx, float32(p.X))
+			sy = append(sy, float32(p.Y))
+			sz = append(sz, float32(p.Z))
+			sden = append(sden, float32(e.Density[pi]))
+		}
+	}
+
+	// Target side: one device block per chunk of b target points.
+	type chunk struct {
+		node    int32
+		ptBase  int32 // first point index in tree order
+		count   int32 // real targets in this chunk (≤ b)
+		listLo  int32 // range into the flattened U-list
+		listHi  int32
+		trgBase int32 // offset into target arrays
+	}
+	var chunks []chunk
+	var tx, ty, tz []float32
+	var ulist []int32 // flattened (srcStart, srcCount) pairs
+	for _, li := range t.Leaves {
+		n := &t.Nodes[li]
+		if !n.Local || n.NPoints() == 0 || len(n.U) == 0 {
+			continue
+		}
+		listLo := int32(len(ulist))
+		for _, ai := range n.U {
+			an := &t.Nodes[ai]
+			if an.NPoints() == 0 {
+				continue
+			}
+			ulist = append(ulist, srcStart[ai], int32(an.NPoints()))
+		}
+		listHi := int32(len(ulist))
+		for base := 0; base < n.NPoints(); base += b {
+			cnt := n.NPoints() - base
+			if cnt > b {
+				cnt = b
+			}
+			ch := chunk{
+				node: li, ptBase: n.PtLo + int32(base), count: int32(cnt),
+				listLo: listLo, listHi: listHi, trgBase: int32(len(tx)),
+			}
+			for k := 0; k < cnt; k++ {
+				p := t.Points[int(ch.ptBase)+k]
+				tx = append(tx, float32(p.X))
+				ty = append(ty, float32(p.Y))
+				tz = append(tz, float32(p.Z))
+			}
+			// Pad to the block size (the padded lanes compute nothing but
+			// occupy the block, as in the paper).
+			for k := cnt; k < b; k++ {
+				tx = append(tx, 0)
+				ty = append(ty, 0)
+				tz = append(tz, 0)
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+	if len(chunks) == 0 {
+		return
+	}
+	f := make([]float32, len(tx))
+
+	translation := int64(4 * (len(sx)*4 + len(tx)*3 + len(ulist) + len(f)))
+	a.TranslationBytes += translation
+	a.Dev.H2D(int(translation))
+
+	// ---- Kernel. ----
+	a.Dev.Launch(len(chunks), b, 4*b, func(blk *stream.Block) {
+		ch := chunks[blk.Idx]
+		acc := make([]float32, b) // per-thread register accumulators
+		// Each thread loads its target coordinates (coalesced).
+		blk.GlobalLoad(12*b, true)
+		for li := ch.listLo; li < ch.listHi; li += 2 {
+			start, count := ulist[li], ulist[li+1]
+			for tile := int32(0); tile < count; tile += int32(b) {
+				tlen := count - tile
+				if tlen > int32(b) {
+					tlen = int32(b)
+				}
+				// Phase 1: cooperative load of the tile into shared memory.
+				// Partial tiles break coalescing (the paper's sparse U-list
+				// caveat).
+				blk.ForEachThread(func(tid int) {
+					if int32(tid) >= tlen {
+						return
+					}
+					j := start + tile + int32(tid)
+					blk.Shared[4*tid+0] = sx[j]
+					blk.Shared[4*tid+1] = sy[j]
+					blk.Shared[4*tid+2] = sz[j]
+					blk.Shared[4*tid+3] = sden[j]
+				})
+				blk.GlobalLoad(int(16*tlen), tlen == int32(b))
+				blk.SharedAccess(int(16 * tlen))
+				// Phase 2: every thread accumulates over the tile.
+				blk.ForEachThread(func(tid int) {
+					if int32(tid) >= ch.count {
+						return
+					}
+					g := ch.trgBase + int32(tid)
+					x, y, z := tx[g], ty[g], tz[g]
+					s := acc[tid]
+					for j := int32(0); j < tlen; j++ {
+						s += kernel.LaplaceEval32(x, y, z,
+							blk.Shared[4*j+0], blk.Shared[4*j+1], blk.Shared[4*j+2],
+							blk.Shared[4*j+3])
+					}
+					acc[tid] = s
+				})
+				blk.Flops(int(ch.count) * int(tlen) * kernel.Laplace{}.FlopsPerInteraction())
+			}
+		}
+		// Write back (coalesced).
+		blk.ForEachThread(func(tid int) {
+			if int32(tid) < ch.count {
+				f[ch.trgBase+int32(tid)] = acc[tid]
+			}
+		})
+		blk.GlobalStore(int(4*ch.count), true)
+	})
+
+	a.Dev.D2H(4 * len(f))
+
+	// Accumulate into the engine's potentials.
+	for _, ch := range chunks {
+		for k := int32(0); k < ch.count; k++ {
+			e.Potential[ch.ptBase+k] += float64(f[ch.trgBase+k])
+		}
+	}
+}

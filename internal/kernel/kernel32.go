@@ -1,0 +1,40 @@
+package kernel
+
+import "math"
+
+// The float32 kernel paths mirror the paper's single-precision GPU
+// implementation. LaplaceEval32 additionally reproduces the paper's
+// branch-free self-interaction guard: in IEEE arithmetic max(NaN, x) = x, so
+// a zero-distance pair (whose 1/r factor is +Inf and becomes NaN after
+// Inf−Inf) is squashed to zero by a max against 0 instead of a conditional.
+
+// LaplaceEval32 returns the single-precision Laplace potential contribution
+// density/(4π‖t−s‖), using the IEEE NaN/max trick so a coincident pair
+// contributes exactly 0 with no branch.
+func LaplaceEval32(tx, ty, tz, sx, sy, sz, density float32) float32 {
+	dx := tx - sx
+	dy := ty - sy
+	dz := tz - sz
+	r2 := dx*dx + dy*dy + dz*dz
+	inv := float32(invFourPi) / sqrt32(r2) // +Inf when r2 == 0
+	inv = inv + (inv - inv)                // NaN when infinite, unchanged otherwise
+	inv = max32(inv, 0)                    // IEEE max: NaN -> 0
+	return inv * density
+}
+
+// sqrt32 is a single-precision square root.
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// max32 implements the IEEE-compliant max: max32(NaN, x) = x.
+func max32(a, b float32) float32 {
+	if a != a { // NaN
+		return b
+	}
+	if b != b {
+		return a
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

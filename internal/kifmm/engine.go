@@ -1,0 +1,432 @@
+package kifmm
+
+import (
+	"fmt"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+	"kifmm/internal/octree"
+	"kifmm/internal/par"
+)
+
+// Engine evaluates the FMM phases of Algorithm 1 on one tree. The per-node
+// state lives in flat per-node slices so the distributed driver can inject
+// ghost densities (reduce-scatter results) and the streaming accelerator can
+// repack it into device layouts.
+//
+// Phase methods only touch octants selected by the tree's interaction lists
+// and the Local flags, which is what allows the same engine to run both the
+// sequential FMM and each rank's local essential tree.
+type Engine struct {
+	Ops  *Operators
+	Tree *octree.Tree
+	// UseFFTM2L selects the FFT-diagonalized V-list translation instead of
+	// dense M2L matrices.
+	UseFFTM2L bool
+	// Workers bounds within-rank loop parallelism (1 = sequential, matching
+	// the paper's CPU configuration of one core per MPI process).
+	Workers int
+	// Prof, when non-nil, receives per-phase timings and flop counts.
+	Prof *diag.Profile
+
+	// U holds per-node upward-equivalent densities (UpwardLen each).
+	U [][]float64
+	// D holds per-node downward-equivalent densities (UpwardLen each).
+	D [][]float64
+	// DChk holds per-node downward-check potential accumulators (CheckLen).
+	DChk [][]float64
+	// Density holds per-point source densities aligned with Tree.Points
+	// (SrcDim components per point).
+	Density []float64
+	// Potential holds per-point results aligned with Tree.Points (TrgDim
+	// components per point).
+	Potential []float64
+}
+
+// NewEngine allocates evaluation state for the tree.
+func NewEngine(ops *Operators, tree *octree.Tree) *Engine {
+	e := &Engine{
+		Ops:       ops,
+		Tree:      tree,
+		Workers:   1,
+		U:         make([][]float64, len(tree.Nodes)),
+		D:         make([][]float64, len(tree.Nodes)),
+		DChk:      make([][]float64, len(tree.Nodes)),
+		Density:   make([]float64, len(tree.Points)*ops.Kern.SrcDim()),
+		Potential: make([]float64, len(tree.Points)*ops.Kern.TrgDim()),
+	}
+	ul, cl := ops.UpwardLen(), ops.CheckLen()
+	for i := range tree.Nodes {
+		e.U[i] = make([]float64, ul)
+		e.D[i] = make([]float64, ul)
+		e.DChk[i] = make([]float64, cl)
+	}
+	return e
+}
+
+// Reset zeroes all evaluation state (densities are kept).
+func (e *Engine) Reset() {
+	for i := range e.U {
+		zero(e.U[i])
+		zero(e.D[i])
+		zero(e.DChk[i])
+	}
+	zero(e.Potential)
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+func (e *Engine) addFlops(phase string, n int64) {
+	if e.Prof != nil {
+		e.Prof.AddFlops(phase, n)
+	}
+}
+
+func (e *Engine) timed(phase string) func() {
+	if e.Prof == nil {
+		return func() {}
+	}
+	return e.Prof.Start(phase)
+}
+
+// nodeCenterRad returns the octant center and the half-side of node i.
+func (e *Engine) nodeCenterRad(i int32) (geom.Point, float64) {
+	k := e.Tree.Nodes[i].Key
+	x, y, z := k.Center()
+	return geom.Point{X: x, Y: y, Z: z}, k.Side() / 2
+}
+
+// upwardSurface returns node i's upward-equivalent surface points.
+func (e *Engine) upwardSurface(i int32) []geom.Point {
+	c, h := e.nodeCenterRad(i)
+	return e.Ops.Grid.Points(c, RadInner*h)
+}
+
+// S2U computes upward-equivalent densities of every local leaf from its
+// source points: evaluate the sources on the upward-check surface, then
+// solve to the equivalent surface (step 1 of Algorithm 1).
+func (e *Engine) S2U() {
+	defer e.timed(diag.PhaseUpward)()
+	t := e.Tree
+	kern := e.Ops.Kern
+	sd := kern.SrcDim()
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		i := t.Leaves[li]
+		n := &t.Nodes[i]
+		if !n.Local || n.NPoints() == 0 {
+			return
+		}
+		c, h := e.nodeCenterRad(i)
+		uc := e.Ops.Grid.Points(c, RadOuter*h)
+		chk := make([]float64, e.Ops.CheckLen())
+		pts := t.LeafPoints(i)
+		td := kern.TrgDim()
+		for pi, p := range pts {
+			den := e.Density[(int(n.PtLo)+pi)*sd : (int(n.PtLo)+pi+1)*sd]
+			for ci, cp := range uc {
+				kern.Eval(cp, p, den, chk[ci*td:(ci+1)*td])
+			}
+		}
+		m, scale := e.Ops.S2UOp(n.Key.Level())
+		tmp := make([]float64, e.Ops.UpwardLen())
+		m.MulVec(tmp, chk)
+		for x := range tmp {
+			e.U[i][x] += scale * tmp[x]
+		}
+		e.addFlops(diag.PhaseUpward, int64(len(pts)*len(uc)*kern.FlopsPerInteraction())+
+			2*int64(m.Rows*m.Cols))
+	})
+}
+
+// U2U accumulates child upward densities into parents, finest level first
+// (step 2). Within a level, parents are processed independently.
+func (e *Engine) U2U() {
+	defer e.timed(diag.PhaseUpward)()
+	t := e.Tree
+	byLevel := e.nodesByLevel()
+	for l := len(byLevel) - 1; l >= 0; l-- {
+		nodes := byLevel[l]
+		par.For(e.Workers, len(nodes), func(ni int) {
+			i := nodes[ni]
+			n := &t.Nodes[i]
+			if n.IsLeaf {
+				return
+			}
+			for ci, cj := range n.Children {
+				if cj == octree.NoNode {
+					continue
+				}
+				m := e.Ops.U2UOp(n.Key.Level(), ci)
+				m.MulVecAdd(e.U[i], e.U[cj])
+				e.addFlops(diag.PhaseUpward, 2*int64(m.Rows*m.Cols))
+			}
+		})
+	}
+}
+
+// VLI applies the V-list translations (step 3a), accumulating into the
+// downward-check potentials. Uses dense M2L matrices or the
+// FFT-diagonalized path depending on UseFFTM2L.
+func (e *Engine) VLI() { e.VLIFiltered(nil) }
+
+// VLIFiltered applies only the V-list interactions whose SOURCE octant
+// satisfies srcSel (nil selects all). The distributed driver uses this to
+// overlap communication with computation: interactions from sources whose
+// upward densities are already complete proceed while the reduce-scatter of
+// the shared octants is still in flight, and the shared-source remainder
+// runs afterwards.
+func (e *Engine) VLIFiltered(srcSel func(i int32) bool) {
+	defer e.timed(diag.PhaseVList)()
+	if e.UseFFTM2L {
+		e.vliFFT(srcSel)
+		return
+	}
+	t := e.Tree
+	par.For(e.Workers, len(t.Nodes), func(i int) {
+		n := &t.Nodes[i]
+		if len(n.V) == 0 {
+			return
+		}
+		tmp := make([]float64, e.Ops.CheckLen())
+		for _, a := range n.V {
+			if srcSel != nil && !srcSel(a) {
+				continue
+			}
+			dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
+			m, scale := e.Ops.M2LAt(n.Key.Level(), dx, dy, dz)
+			m.MulVec(tmp, e.U[a])
+			for x := range tmp {
+				e.DChk[i][x] += scale * tmp[x]
+			}
+			e.addFlops(diag.PhaseVList, 2*int64(m.Rows*m.Cols))
+		}
+	})
+}
+
+// dirBetween returns the (trg − src) anchor offset in units of the common
+// octant side; both keys must be at the same level.
+func dirBetween(src, trg morton.Key) (int, int, int) {
+	s := int64(src.SideUnits())
+	return int((int64(trg.X) - int64(src.X)) / s),
+		int((int64(trg.Y) - int64(src.Y)) / s),
+		int((int64(trg.Z) - int64(src.Z)) / s)
+}
+
+// XLI evaluates X-list sources directly onto downward-check surfaces
+// (step 3b).
+func (e *Engine) XLI() {
+	defer e.timed(diag.PhaseXList)()
+	t := e.Tree
+	kern := e.Ops.Kern
+	sd, td := kern.SrcDim(), kern.TrgDim()
+	par.For(e.Workers, len(t.Nodes), func(i int) {
+		n := &t.Nodes[i]
+		if len(n.X) == 0 {
+			return
+		}
+		c, h := e.nodeCenterRad(int32(i))
+		dc := e.Ops.Grid.Points(c, RadInner*h)
+		var pairs int
+		for _, a := range n.X {
+			an := &t.Nodes[a]
+			pts := t.LeafPoints(a)
+			for pi, p := range pts {
+				den := e.Density[(int(an.PtLo)+pi)*sd : (int(an.PtLo)+pi+1)*sd]
+				for ci, cp := range dc {
+					kern.Eval(cp, p, den, e.DChk[i][ci*td:(ci+1)*td])
+				}
+			}
+			pairs += len(pts) * len(dc)
+		}
+		e.addFlops(diag.PhaseXList, int64(pairs*kern.FlopsPerInteraction()))
+	})
+}
+
+// Downward runs the downward pass (step 4): top-down, each local octant
+// receives its parent's downward-equivalent field on its check surface and
+// solves for its own downward-equivalent densities.
+func (e *Engine) Downward() {
+	defer e.timed(diag.PhaseDownward)()
+	t := e.Tree
+	byLevel := e.nodesByLevel()
+	for l := 0; l < len(byLevel); l++ {
+		nodes := byLevel[l]
+		par.For(e.Workers, len(nodes), func(ni int) {
+			i := nodes[ni]
+			n := &t.Nodes[i]
+			if !n.Local {
+				return
+			}
+			if n.Parent != octree.NoNode {
+				ci := n.Key.ChildIndex()
+				m, scale := e.Ops.D2DOp(n.Key.Level()-1, ci)
+				tmp := make([]float64, e.Ops.CheckLen())
+				m.MulVec(tmp, e.D[n.Parent])
+				for x := range tmp {
+					e.DChk[i][x] += scale * tmp[x]
+				}
+				e.addFlops(diag.PhaseDownward, 2*int64(m.Rows*m.Cols))
+			}
+			pm, pscale := e.Ops.DC2DEOp(n.Key.Level())
+			tmp2 := make([]float64, e.Ops.UpwardLen())
+			pm.MulVec(tmp2, e.DChk[i])
+			for x := range tmp2 {
+				e.D[i][x] += pscale * tmp2[x]
+			}
+			e.addFlops(diag.PhaseDownward, 2*int64(pm.Rows*pm.Cols))
+		})
+	}
+}
+
+// WLI evaluates W-list upward-equivalent fields at local leaf targets
+// (step 5a).
+func (e *Engine) WLI() {
+	defer e.timed(diag.PhaseWList)()
+	t := e.Tree
+	kern := e.Ops.Kern
+	sd, td := kern.SrcDim(), kern.TrgDim()
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		i := t.Leaves[li]
+		n := &t.Nodes[i]
+		if len(n.W) == 0 || n.NPoints() == 0 {
+			return
+		}
+		trgs := t.LeafPoints(i)
+		var pairs int
+		for _, a := range n.W {
+			ue := e.upwardSurface(a)
+			ua := e.U[a]
+			for pi, p := range trgs {
+				out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
+				for si, sp := range ue {
+					kern.Eval(p, sp, ua[si*sd:(si+1)*sd], out)
+				}
+			}
+			pairs += len(trgs) * len(ue)
+		}
+		e.addFlops(diag.PhaseWList, int64(pairs*kern.FlopsPerInteraction()))
+	})
+}
+
+// D2T evaluates each local leaf's downward-equivalent field at its own
+// targets (step 5b).
+func (e *Engine) D2T() {
+	defer e.timed(diag.PhaseDownward)()
+	t := e.Tree
+	kern := e.Ops.Kern
+	sd, td := kern.SrcDim(), kern.TrgDim()
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		i := t.Leaves[li]
+		n := &t.Nodes[i]
+		if !n.Local || n.NPoints() == 0 {
+			return
+		}
+		c, h := e.nodeCenterRad(i)
+		de := e.Ops.Grid.Points(c, RadOuter*h)
+		trgs := t.LeafPoints(i)
+		for pi, p := range trgs {
+			out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
+			for si, sp := range de {
+				kern.Eval(p, sp, e.D[i][si*sd:(si+1)*sd], out)
+			}
+		}
+		e.addFlops(diag.PhaseDownward, int64(len(trgs)*len(de)*kern.FlopsPerInteraction()))
+	})
+}
+
+// ULI computes the exact near-field interactions (the direct sum over the
+// U-list).
+func (e *Engine) ULI() {
+	defer e.timed(diag.PhaseUList)()
+	t := e.Tree
+	kern := e.Ops.Kern
+	sd, td := kern.SrcDim(), kern.TrgDim()
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		i := t.Leaves[li]
+		n := &t.Nodes[i]
+		if len(n.U) == 0 || n.NPoints() == 0 {
+			return
+		}
+		trgs := t.LeafPoints(i)
+		var pairs int
+		for _, a := range n.U {
+			an := &t.Nodes[a]
+			srcs := t.LeafPoints(a)
+			for pi, p := range trgs {
+				out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
+				for si, sp := range srcs {
+					kern.Eval(p, sp, e.Density[(int(an.PtLo)+si)*sd:(int(an.PtLo)+si+1)*sd], out)
+				}
+			}
+			pairs += len(trgs) * len(srcs)
+		}
+		e.addFlops(diag.PhaseUList, int64(pairs*kern.FlopsPerInteraction()))
+	})
+}
+
+// Evaluate runs the full sequential FMM: upward pass, translations, downward
+// pass, and direct interactions.
+func (e *Engine) Evaluate() {
+	defer e.timed(diag.PhaseTotalEval)()
+	e.S2U()
+	e.U2U()
+	e.VLI()
+	e.XLI()
+	e.Downward()
+	e.WLI()
+	e.D2T()
+	e.ULI()
+}
+
+// nodesByLevel buckets node indices by octant level.
+func (e *Engine) nodesByLevel() [][]int32 {
+	t := e.Tree
+	maxL := 0
+	for i := range t.Nodes {
+		if l := t.Nodes[i].Key.Level(); l > maxL {
+			maxL = l
+		}
+	}
+	out := make([][]int32, maxL+1)
+	for i := range t.Nodes {
+		l := t.Nodes[i].Key.Level()
+		out[l] = append(out[l], int32(i))
+	}
+	return out
+}
+
+// SetPointDensities copies caller-ordered densities into the engine using
+// the tree's permutation (Build trees only).
+func (e *Engine) SetPointDensities(orig []float64) {
+	sd := e.Ops.Kern.SrcDim()
+	if len(orig) != len(e.Tree.Points)*sd {
+		panic(fmt.Sprintf("kifmm: density length %d, want %d", len(orig), len(e.Tree.Points)*sd))
+	}
+	if e.Tree.Perm == nil {
+		copy(e.Density, orig)
+		return
+	}
+	for i, o := range e.Tree.Perm {
+		copy(e.Density[i*sd:(i+1)*sd], orig[o*sd:(o+1)*sd])
+	}
+}
+
+// PointPotentials returns potentials in the caller's original point order
+// (Build trees only).
+func (e *Engine) PointPotentials() []float64 {
+	td := e.Ops.Kern.TrgDim()
+	out := make([]float64, len(e.Potential))
+	if e.Tree.Perm == nil {
+		copy(out, e.Potential)
+		return out
+	}
+	for i, o := range e.Tree.Perm {
+		copy(out[o*td:(o+1)*td], e.Potential[i*td:(i+1)*td])
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package kifmm
+
+import (
+	"math"
+	"sync"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/fft"
+	"kifmm/internal/geom"
+	"kifmm/internal/octree"
+	"kifmm/internal/par"
+)
+
+// FFTM2L implements the FFT-diagonalized V-list translation. Equivalent and
+// check surface points lie on the boundary of a regular p×p×p lattice, and
+// the kernel is translation invariant, so the map from a source octant's
+// upward-equivalent densities to a target octant's downward-check potentials
+// is a 3-D convolution on that lattice: after padding to a 2p-grid and
+// transforming, each V-list interaction reduces to a pointwise (Hadamard)
+// multiply in frequency space — the "diagonal translation" the paper
+// offloads to the GPU while keeping the per-octant FFTs on the CPU.
+type FFTM2L struct {
+	ops  *Operators
+	n    int // padded grid edge = 2p
+	plan *fft.Plan3D
+	// surfIdx maps each surface point to its flattened padded-grid index.
+	surfIdx []int
+	// tf caches translation spectra per (level, direction); homogeneous
+	// kernels only populate level 0. tf[key][t*sd+s] is the n³ spectrum of
+	// kernel component (t, s).
+	tf sync.Map // map[uint64][][]complex128
+}
+
+// NewFFTM2L builds the FFT translation machinery for ops.
+func NewFFTM2L(ops *Operators) *FFTM2L {
+	p := ops.Grid.P
+	n := 2 * p
+	f := &FFTM2L{ops: ops, n: n, plan: fft.NewPlan3D(n, n, n)}
+	f.surfIdx = make([]int, len(ops.Grid.Coords))
+	for i, c := range ops.Grid.Coords {
+		f.surfIdx[i] = (c[0]*n+c[1])*n + c[2]
+	}
+	return f
+}
+
+// GridLen returns the padded grid size n³.
+func (f *FFTM2L) GridLen() int { return f.n * f.n * f.n }
+
+// SourceSpectrum pads the upward-equivalent densities u (surface order) into
+// the n³ grid and transforms them: one spectrum per source component.
+func (f *FFTM2L) SourceSpectrum(u []float64) [][]complex128 {
+	sd := f.ops.Kern.SrcDim()
+	out := make([][]complex128, sd)
+	for s := 0; s < sd; s++ {
+		g := make([]complex128, f.GridLen())
+		for i, gi := range f.surfIdx {
+			g[gi] = complex(u[i*sd+s], 0)
+		}
+		f.plan.Forward(g)
+		out[s] = g
+	}
+	return out
+}
+
+// Translation returns the cached spectra of the kernel translation tensor
+// for a V-list direction at the reference scale (homogeneous kernels). The
+// result is indexed [t*SrcDim+s] with one n³ spectrum per component pair.
+func (f *FFTM2L) Translation(dx, dy, dz int) [][]complex128 {
+	return f.TranslationAt(0, dx, dy, dz)
+}
+
+// TranslationAt returns the translation spectra for octants at the given
+// level (used directly for non-homogeneous kernels, whose operators cannot
+// be rescaled from a reference level).
+func (f *FFTM2L) TranslationAt(level, dx, dy, dz int) [][]complex128 {
+	key := packLevelDir(level, packDir(dx, dy, dz))
+	if v, ok := f.tf.Load(key); ok {
+		return v.([][]complex128)
+	}
+	kern := f.ops.Kern
+	sd, td := kern.SrcDim(), kern.TrgDim()
+	p := f.ops.Grid.P
+	n := f.n
+	// Lattice spacing for octants of side 2^-level (inner radius
+	// RadInner·side/2 around the center).
+	side := math.Pow(2, -float64(level))
+	step := 2 * (RadInner * side * 0.5) / float64(p-1)
+	d := geom.Point{X: float64(dx) * side, Y: float64(dy) * side, Z: float64(dz) * side}
+
+	grids := make([][]complex128, td*sd)
+	for i := range grids {
+		grids[i] = make([]complex128, f.GridLen())
+	}
+	den := make([]float64, sd)
+	out := make([]float64, td)
+	for mx := -(p - 1); mx <= p-1; mx++ {
+		for my := -(p - 1); my <= p-1; my++ {
+			for mz := -(p - 1); mz <= p-1; mz++ {
+				// Offset between a target check point at lattice i and a
+				// source equivalent point at lattice j with m = i − j.
+				off := geom.Point{
+					X: d.X + float64(mx)*step,
+					Y: d.Y + float64(my)*step,
+					Z: d.Z + float64(mz)*step,
+				}
+				gi := ((mod(mx, n))*n+mod(my, n))*n + mod(mz, n)
+				for s := 0; s < sd; s++ {
+					for x := range den {
+						den[x] = 0
+					}
+					den[s] = 1
+					for x := range out {
+						out[x] = 0
+					}
+					kern.Eval(off, geom.Point{}, den, out)
+					for t := 0; t < td; t++ {
+						grids[t*sd+s][gi] = complex(out[t], 0)
+					}
+				}
+			}
+		}
+	}
+	for i := range grids {
+		f.plan.Forward(grids[i])
+	}
+	actual, _ := f.tf.LoadOrStore(key, grids)
+	return actual.([][]complex128)
+}
+
+// ExtractCheck inverse-transforms the accumulated frequency-domain check
+// potentials and adds the surface values (scaled) into dst.
+func (f *FFTM2L) ExtractCheck(acc [][]complex128, scale float64, dst []float64) {
+	td := f.ops.Kern.TrgDim()
+	for t := 0; t < td; t++ {
+		f.plan.Inverse(acc[t])
+		for i, gi := range f.surfIdx {
+			dst[i*td+t] += scale * real(acc[t][gi])
+		}
+	}
+}
+
+// Hadamard accumulates one V-list interaction in frequency space:
+// acc[t] += Σ_s tf[t*sd+s] ⊙ src[s].
+func Hadamard(acc [][]complex128, tf, src [][]complex128, sd int) {
+	for t := range acc {
+		at := acc[t]
+		for s := 0; s < sd; s++ {
+			tfts := tf[t*sd+s]
+			ss := src[s]
+			for i := range at {
+				at[i] += tfts[i] * ss[i]
+			}
+		}
+	}
+}
+
+// hasSelectedSource reports whether the node has any V-list source passing
+// the filter.
+func hasSelectedSource(n *octree.Node, srcSel func(i int32) bool) bool {
+	if len(n.V) == 0 {
+		return false
+	}
+	if srcSel == nil {
+		return true
+	}
+	for _, a := range n.V {
+		if srcSel(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// vliFFT is the engine's FFT-based V-list pass: level by level, compute the
+// source spectra once per source octant, Hadamard-accumulate per target,
+// then one inverse FFT per target. Processing is blocked by target to bound
+// the spectrum cache.
+func (e *Engine) vliFFT(srcSel func(i int32) bool) {
+	f := e.Ops.FFT()
+	t := e.Tree
+	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
+
+	// Group V-list targets by level (V interactions are same-level).
+	byLevel := make(map[int][]int32)
+	for i := range t.Nodes {
+		if !hasSelectedSource(&t.Nodes[i], srcSel) {
+			continue
+		}
+		l := t.Nodes[i].Key.Level()
+		byLevel[l] = append(byLevel[l], int32(i))
+	}
+	const block = 256
+	for level, targets := range byLevel {
+		tfLevel := 0
+		if !e.Ops.Homogeneous() {
+			tfLevel = level
+		}
+		for lo := 0; lo < len(targets); lo += block {
+			hi := lo + block
+			if hi > len(targets) {
+				hi = len(targets)
+			}
+			blockTargets := targets[lo:hi]
+			// Collect the sources needed by this block.
+			srcIdx := make(map[int32]int)
+			var srcs []int32
+			for _, ti := range blockTargets {
+				for _, a := range t.Nodes[ti].V {
+					if srcSel != nil && !srcSel(a) {
+						continue
+					}
+					if _, ok := srcIdx[a]; !ok {
+						srcIdx[a] = len(srcs)
+						srcs = append(srcs, a)
+					}
+				}
+			}
+			specs := make([][][]complex128, len(srcs))
+			par.For(e.Workers, len(srcs), func(k int) {
+				specs[k] = f.SourceSpectrum(e.U[srcs[k]])
+			})
+			par.For(e.Workers, len(blockTargets), func(bi int) {
+				ti := blockTargets[bi]
+				n := &t.Nodes[ti]
+				acc := make([][]complex128, td)
+				for x := range acc {
+					acc[x] = make([]complex128, f.GridLen())
+				}
+				for _, a := range n.V {
+					if srcSel != nil && !srcSel(a) {
+						continue
+					}
+					dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
+					tf := f.TranslationAt(tfLevel, dx, dy, dz)
+					Hadamard(acc, tf, specs[srcIdx[a]], sd)
+					e.addFlops(diag.PhaseVList, int64(8*td*sd*f.GridLen()))
+				}
+				scale := e.Ops.KernScale(n.Key.Level())
+				f.ExtractCheck(acc, scale, e.DChk[ti])
+			})
+		}
+	}
+
+}

@@ -1,0 +1,214 @@
+package kifmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+)
+
+// These tests check the KIFMM representations at the operator level, against
+// the physics they encode rather than against the engine: an upward
+// equivalent density must reproduce its sources' far field, the U2U
+// translation must preserve it, and the M2L + downward solve must hand a
+// valid local field to the target box.
+
+// boxSources scatters n random unit-strength sources inside the octant
+// (center, half).
+func boxSources(rng *rand.Rand, center geom.Point, half float64, n int) ([]geom.Point, []float64) {
+	pts := make([]geom.Point, n)
+	den := make([]float64, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: center.X + (2*rng.Float64()-1)*half*0.98,
+			Y: center.Y + (2*rng.Float64()-1)*half*0.98,
+			Z: center.Z + (2*rng.Float64()-1)*half*0.98,
+		}
+		den[i] = rng.NormFloat64()
+	}
+	return pts, den
+}
+
+// upwardDensity computes u for sources in the reference box (center origin,
+// side 1) exactly as Engine.S2U does.
+func upwardDensity(ops *Operators, srcs []geom.Point, den []float64) []float64 {
+	uc := ops.Grid.Points(geom.Point{}, RadOuter*0.5)
+	chk := make([]float64, ops.CheckLen())
+	td := ops.Kern.TrgDim()
+	sd := ops.Kern.SrcDim()
+	for i, s := range srcs {
+		for ci, cp := range uc {
+			ops.Kern.Eval(cp, s, den[i*sd:(i+1)*sd], chk[ci*td:(ci+1)*td])
+		}
+	}
+	u := make([]float64, ops.UpwardLen())
+	ops.UC2UE.MulVec(u, chk)
+	return u
+}
+
+// evalEquivalent evaluates an equivalent density field (on a surface of the
+// given radius around center) at a point.
+func evalEquivalent(ops *Operators, u []float64, center geom.Point, radius float64, at geom.Point) []float64 {
+	ue := ops.Grid.Points(center, radius)
+	out := make([]float64, ops.Kern.TrgDim())
+	sd := ops.Kern.SrcDim()
+	for i, sp := range ue {
+		ops.Kern.Eval(at, sp, u[i*sd:(i+1)*sd], out)
+	}
+	return out
+}
+
+func TestUpwardEquivalentReproducesFarField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := NewOperators(kernel.Laplace{}, 6, 1e-9)
+	srcs, den := boxSources(rng, geom.Point{}, 0.5, 40)
+	u := upwardDensity(ops, srcs, den)
+
+	// Evaluate at points outside the 3×-box colleague volume.
+	for trial := 0; trial < 20; trial++ {
+		dir := geom.Point{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		dir = dir.Scale(1 / dir.Norm())
+		at := dir.Scale(1.6 + rng.Float64()) // ‖at‖ ≥ 1.6 > 1.5 (3×half)
+		want := make([]float64, 1)
+		for i, s := range srcs {
+			ops.Kern.Eval(at, s, den[i:i+1], want)
+		}
+		got := evalEquivalent(ops, u, geom.Point{}, RadInner*0.5, at)
+		if math.Abs(got[0]-want[0]) > 2e-6*(1+math.Abs(want[0])) {
+			t.Fatalf("far field mismatch at %v: %v vs %v", at, got[0], want[0])
+		}
+	}
+}
+
+func TestU2UPreservesFarField(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := NewOperators(kernel.Laplace{}, 6, 1e-9)
+	// Sources in child 3 of the reference box.
+	cc := childCenter(geom.Point{}, 0.5, 3)
+	srcs, den := boxSources(rng, cc, 0.25, 30)
+
+	// Child upward density (child scale: level 1 relative to reference).
+	uc := ops.Grid.Points(cc, RadOuter*0.25)
+	chk := make([]float64, ops.CheckLen())
+	for i, s := range srcs {
+		for ci, cp := range uc {
+			ops.Kern.Eval(cp, s, den[i:i+1], chk[ci:ci+1])
+		}
+	}
+	uChild := make([]float64, ops.UpwardLen())
+	tmp := make([]float64, ops.UpwardLen())
+	ops.UC2UE.MulVec(tmp, chk)
+	for i := range tmp {
+		uChild[i] = tmp[i] * ops.PinvScale(1)
+	}
+
+	// Parent density via the U2U translation.
+	uParent := make([]float64, ops.UpwardLen())
+	ops.U2U[3].MulVec(uParent, uChild)
+
+	// Both must reproduce the true far field.
+	for trial := 0; trial < 10; trial++ {
+		dir := geom.Point{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		dir = dir.Scale(1 / dir.Norm())
+		at := dir.Scale(1.7 + rng.Float64())
+		want := make([]float64, 1)
+		for i, s := range srcs {
+			ops.Kern.Eval(at, s, den[i:i+1], want)
+		}
+		got := evalEquivalent(ops, uParent, geom.Point{}, RadInner*0.5, at)
+		if math.Abs(got[0]-want[0]) > 5e-6*(1+math.Abs(want[0])) {
+			t.Fatalf("U2U far field mismatch at %v: %v vs %v", at, got[0], want[0])
+		}
+	}
+}
+
+func TestM2LDownwardReproducesLocalField(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ops := NewOperators(kernel.Laplace{}, 6, 1e-9)
+	// Source box at origin; target box two boxes away (a valid V-list
+	// direction).
+	srcs, den := boxSources(rng, geom.Point{}, 0.5, 30)
+	u := upwardDensity(ops, srcs, den)
+
+	trgCenter := geom.Point{X: 2, Y: 1, Z: 0}
+	m := ops.M2L(2, 1, 0)
+	dchk := make([]float64, ops.CheckLen())
+	m.MulVec(dchk, u)
+	d := make([]float64, ops.UpwardLen())
+	ops.DC2DE.MulVec(d, dchk)
+
+	// The downward equivalent density must reproduce the sources' field
+	// inside the target box.
+	for trial := 0; trial < 20; trial++ {
+		at := geom.Point{
+			X: trgCenter.X + (2*rng.Float64()-1)*0.45,
+			Y: trgCenter.Y + (2*rng.Float64()-1)*0.45,
+			Z: trgCenter.Z + (2*rng.Float64()-1)*0.45,
+		}
+		want := make([]float64, 1)
+		for i, s := range srcs {
+			ops.Kern.Eval(at, s, den[i:i+1], want)
+		}
+		got := evalEquivalent(ops, d, trgCenter, RadOuter*0.5, at)
+		if math.Abs(got[0]-want[0]) > 5e-6*(1+math.Abs(want[0])) {
+			t.Fatalf("local field mismatch at %v: %v vs %v", at, got[0], want[0])
+		}
+	}
+}
+
+func TestFFTTranslationMatchesDenseM2L(t *testing.T) {
+	// The FFT path evaluates the identical operator: compare the full
+	// matrix action on random vectors for several directions.
+	ops := NewOperators(kernel.Laplace{}, 4, 1e-9)
+	f := NewFFTM2L(ops)
+	rng := rand.New(rand.NewSource(4))
+	for _, dir := range [][3]int{{2, 0, 0}, {-2, 1, 3}, {3, -3, 2}, {0, 2, -1}} {
+		m := ops.M2L(dir[0], dir[1], dir[2])
+		u := make([]float64, ops.UpwardLen())
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		want := make([]float64, ops.CheckLen())
+		m.MulVec(want, u)
+
+		spec := f.SourceSpectrum(u)
+		tf := f.Translation(dir[0], dir[1], dir[2])
+		acc := [][]complex128{make([]complex128, f.GridLen())}
+		Hadamard(acc, tf, spec, 1)
+		got := make([]float64, ops.CheckLen())
+		f.ExtractCheck(acc, 1.0, got)
+
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("dir %v: FFT vs dense M2L differ at %d: %v vs %v",
+					dir, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStokesOperatorsFarField(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := NewOperators(kernel.Stokes{}, 4, 1e-9)
+	srcs, den := boxSources(rng, geom.Point{}, 0.5, 20)
+	sd := 3
+	den3 := make([]float64, len(srcs)*sd)
+	for i := range den3 {
+		den3[i] = rng.NormFloat64()
+	}
+	_ = den
+	u := upwardDensity(ops, srcs, den3)
+	at := geom.Point{X: 2.2, Y: 0.3, Z: -0.7}
+	want := make([]float64, 3)
+	for i, s := range srcs {
+		ops.Kern.Eval(at, s, den3[i*3:(i+1)*3], want)
+	}
+	got := evalEquivalent(ops, u, geom.Point{}, RadInner*0.5, at)
+	for c := 0; c < 3; c++ {
+		if math.Abs(got[c]-want[c]) > 1e-3*(1+math.Abs(want[c])) {
+			t.Fatalf("stokes far field component %d: %v vs %v", c, got[c], want[c])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package morton
+
+// KeyFromCode converts a 90-bit interleaved code back to the finest-level
+// key whose anchor has that code (the inverse of CodeOf for finest keys).
+func KeyFromCode(c Code) Key {
+	var x, y, z uint32
+	get := func(p uint) uint64 {
+		if p < 64 {
+			return (c.Lo >> p) & 1
+		}
+		return (c.Hi >> (p - 64)) & 1
+	}
+	for b := 0; b < MaxDepth; b++ {
+		pos := uint(3 * b)
+		z |= uint32(get(pos)) << b
+		y |= uint32(get(pos+1)) << b
+		x |= uint32(get(pos+2)) << b
+	}
+	return Key{X: x, Y: y, Z: z, L: MaxDepth}
+}
+
+// Prev returns the code immediately before c. Calling Prev on the zero code
+// panics.
+func (c Code) Prev() Code {
+	if c.Lo == 0 && c.Hi == 0 {
+		panic("morton: no code before zero")
+	}
+	if c.Lo == 0 {
+		return Code{Hi: c.Hi - 1, Lo: ^uint64(0)}
+	}
+	return Code{Hi: c.Hi, Lo: c.Lo - 1}
+}
+
+// Next returns the code immediately after c.
+func (c Code) Next() Code {
+	lo := c.Lo + 1
+	hi := c.Hi
+	if lo == 0 {
+		hi++
+	}
+	return Code{Hi: hi, Lo: lo}
+}
+
+// MaxCode returns the largest valid 90-bit code (the last finest-level cell).
+func MaxCode() Code {
+	_, hi := Root().CodeRange()
+	return hi
+}

@@ -1,0 +1,265 @@
+package morton
+
+// FromPoint returns the level-l octant containing the point (x, y, z) in the
+// unit cube. Coordinates are clamped to [0, 1).
+func FromPoint(x, y, z float64, l int) Key {
+	if l < 0 || l > MaxDepth {
+		panic("morton: invalid level")
+	}
+	toUnits := func(v float64) uint32 {
+		if v < 0 {
+			v = 0
+		}
+		u := int64(v * MaxCoord)
+		if u >= MaxCoord {
+			u = MaxCoord - 1
+		}
+		return uint32(u)
+	}
+	k := Key{X: toUnits(x), Y: toUnits(y), Z: toUnits(z), L: MaxDepth}
+	return k.AncestorAt(l)
+}
+
+// Side returns the octant's side length in unit-cube coordinates.
+func (k Key) Side() float64 { return float64(k.SideUnits()) / MaxCoord }
+
+// Center returns the octant's center in unit-cube coordinates.
+func (k Key) Center() (x, y, z float64) {
+	h := float64(k.SideUnits()) / (2 * MaxCoord)
+	return float64(k.X)/MaxCoord + h, float64(k.Y)/MaxCoord + h, float64(k.Z)/MaxCoord + h
+}
+
+// Bounds returns the octant's axis-aligned bounding box [lo, hi) in
+// unit-cube coordinates.
+func (k Key) Bounds() (lo, hi [3]float64) {
+	s := k.Side()
+	lo = [3]float64{float64(k.X) / MaxCoord, float64(k.Y) / MaxCoord, float64(k.Z) / MaxCoord}
+	hi = [3]float64{lo[0] + s, lo[1] + s, lo[2] + s}
+	return lo, hi
+}
+
+// ContainsPoint reports whether the point lies in the octant's half-open
+// region [lo, hi).
+func (k Key) ContainsPoint(x, y, z float64) bool {
+	return FromPoint(x, y, z, k.Level()) == k
+}
+
+// Adjacent reports whether two octants share a face, edge, or vertex: their
+// closed boxes intersect while their open interiors are disjoint. Nested or
+// identical octants are not adjacent under this definition.
+func (k Key) Adjacent(b Key) bool {
+	ks, bs := int64(k.SideUnits()), int64(b.SideUnits())
+	kl := [3]int64{int64(k.X), int64(k.Y), int64(k.Z)}
+	bl := [3]int64{int64(b.X), int64(b.Y), int64(b.Z)}
+	closed, open := true, true
+	for d := 0; d < 3; d++ {
+		kh, bh := kl[d]+ks, bl[d]+bs
+		if kl[d] > bh || bl[d] > kh {
+			closed = false
+			break
+		}
+		if kl[d] >= bh || bl[d] >= kh {
+			open = false
+		}
+	}
+	return closed && !open
+}
+
+// NeighborsSameLevel returns the same-level octants sharing a face, edge or
+// vertex with k (up to 26), clipped to the unit cube. These are the
+// candidate colleagues C(k).
+func (k Key) NeighborsSameLevel() []Key {
+	s := int64(k.SideUnits())
+	out := make([]Key, 0, 26)
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for dz := int64(-1); dz <= 1; dz++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				x := int64(k.X) + dx*s
+				y := int64(k.Y) + dy*s
+				z := int64(k.Z) + dz*s
+				if x < 0 || y < 0 || z < 0 || x >= MaxCoord || y >= MaxCoord || z >= MaxCoord {
+					continue
+				}
+				out = append(out, Key{X: uint32(x), Y: uint32(y), Z: uint32(z), L: k.L})
+			}
+		}
+	}
+	return out
+}
+
+// Code is the 90-bit interleaved Morton code of a finest-level anchor,
+// packed hi:lo. Codes order finest-level cells exactly as Compare orders
+// keys, and an octant at level l covers the contiguous code range
+// [Code(k), Code(k) + 8^(MaxDepth-l) - 1].
+type Code struct {
+	Hi, Lo uint64
+}
+
+// spread5 maps 5 bits abcde to the 15-bit pattern a00b00c00d00e00 >> 2
+// (i.e., bits placed every 3 positions starting at bit 0).
+var spread5 [32]uint64
+
+func init() {
+	for v := 0; v < 32; v++ {
+		var r uint64
+		for b := 0; b < 5; b++ {
+			if v&(1<<b) != 0 {
+				r |= 1 << (3 * b)
+			}
+		}
+		spread5[v] = r
+	}
+}
+
+// interleave30 interleaves the low 30 bits of x, y, z into a 90-bit code
+// with x in the most significant slot of each triple.
+func interleave30(x, y, z uint32) Code {
+	var hi, lo uint64
+	// Process in 5-bit chunks: chunks 0..5 cover bits 0..29 of each coord.
+	// Chunk c contributes bits [15c, 15c+15) of the 90-bit result.
+	for c := 0; c < 6; c++ {
+		shift := uint(5 * c)
+		part := spread5[(z>>shift)&31] | spread5[(y>>shift)&31]<<1 | spread5[(x>>shift)&31]<<2
+		bitpos := uint(15 * c)
+		if bitpos < 64 {
+			lo |= part << bitpos
+			if bitpos+15 > 64 {
+				hi |= part >> (64 - bitpos)
+			}
+		} else {
+			hi |= part << (bitpos - 64)
+		}
+	}
+	return Code{Hi: hi, Lo: lo}
+}
+
+// CodeOf returns the code of k's first finest-level descendant.
+func CodeOf(k Key) Code { return interleave30(k.X, k.Y, k.Z) }
+
+// CodeRange returns the inclusive code range covered by octant k.
+func (k Key) CodeRange() (lo, hi Code) {
+	lo = CodeOf(k)
+	n := uint(MaxDepth - k.Level())
+	// span = 8^n - 1 = 2^(3n) - 1 as a 128-bit value.
+	var spanHi, spanLo uint64
+	tn := 3 * n
+	switch {
+	case tn == 0:
+		spanHi, spanLo = 0, 0
+	case tn < 64:
+		spanLo = 1<<tn - 1
+	case tn == 64:
+		spanLo = ^uint64(0)
+	default:
+		spanLo = ^uint64(0)
+		spanHi = 1<<(tn-64) - 1
+	}
+	hiLo := lo.Lo + spanLo
+	carry := uint64(0)
+	if hiLo < lo.Lo {
+		carry = 1
+	}
+	hi = Code{Hi: lo.Hi + spanHi + carry, Lo: hiLo}
+	return lo, hi
+}
+
+// CompareCode orders codes numerically.
+func CompareCode(a, b Code) int {
+	switch {
+	case a.Hi < b.Hi:
+		return -1
+	case a.Hi > b.Hi:
+		return 1
+	case a.Lo < b.Lo:
+		return -1
+	case a.Lo > b.Lo:
+		return 1
+	}
+	return 0
+}
+
+// RangesOverlap reports whether inclusive code ranges [a1,a2] and [b1,b2]
+// intersect.
+func RangesOverlap(a1, a2, b1, b2 Code) bool {
+	return CompareCode(a1, b2) <= 0 && CompareCode(b1, a2) <= 0
+}
+
+// CompleteRegion returns the minimal sorted list of octants that exactly
+// covers the Morton-order gap strictly between a and b (neither endpoint is
+// covered). It requires a < b; it returns nil when b immediately follows a.
+// This is Algorithm 3 of Sundar, Sampath & Biros (SIAM J. Sci. Comput. 2008),
+// the building block of the distributed bottom-up tree construction.
+func CompleteRegion(a, b Key) []Key {
+	if Compare(a, b) >= 0 {
+		panic("morton: CompleteRegion requires a < b")
+	}
+	var out []Key
+	var stack []Key
+	dca := DeepestCommonAncestor(a, b)
+	for i := 7; i >= 0; i-- {
+		if dca.Level() < MaxDepth {
+			stack = append(stack, dca.Child(i))
+		}
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch {
+		case Compare(c, a) > 0 && Compare(c, b) < 0 && !c.IsAncestorOf(b) && !c.IsAncestorOf(a):
+			out = append(out, c)
+		case c.IsAncestorOf(a) || c.IsAncestorOf(b) || c == a:
+			// c == a can only occur if a is an ancestor-level duplicate;
+			// recurse into ancestors of either endpoint.
+			if c.Level() < MaxDepth && c != a {
+				for i := 7; i >= 0; i-- {
+					stack = append(stack, c.Child(i))
+				}
+			}
+		}
+	}
+	SortKeys(out)
+	return out
+}
+
+// CoveringRegion returns the minimal sorted complete covering of the code
+// interval [from, to] (inclusive on both ends), where from and to are
+// finest-level keys. Together with its neighbors' coverings it tiles the
+// unit cube with no overlaps. It is used to turn each rank's Morton range
+// into the coarse "blocks" refined during Points2Octree.
+func CoveringRegion(from, to Key) []Key {
+	if from.Level() != MaxDepth || to.Level() != MaxDepth {
+		panic("morton: CoveringRegion endpoints must be finest-level keys")
+	}
+	if Compare(from, to) > 0 {
+		panic("morton: CoveringRegion requires from <= to")
+	}
+	var out []Key
+	var stack []Key
+	stack = append(stack, Root())
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		clo, chi := c.CodeRange()
+		flo := CodeOf(from)
+		thi := CodeOf(to)
+		if CompareCode(chi, flo) < 0 || CompareCode(clo, thi) > 0 {
+			continue // entirely outside [from, to]
+		}
+		if CompareCode(flo, clo) <= 0 && CompareCode(chi, thi) <= 0 {
+			out = append(out, c) // entirely inside
+			continue
+		}
+		if c.Level() == MaxDepth {
+			out = append(out, c)
+			continue
+		}
+		for i := 7; i >= 0; i-- {
+			stack = append(stack, c.Child(i))
+		}
+	}
+	SortKeys(out)
+	return out
+}

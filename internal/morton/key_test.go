@@ -1,0 +1,287 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randKey(rng *rand.Rand, maxLevel int) Key {
+	l := rng.Intn(maxLevel + 1)
+	k := Root()
+	for i := 0; i < l; i++ {
+		k = k.Child(rng.Intn(8))
+	}
+	return k
+}
+
+func TestRootProperties(t *testing.T) {
+	r := Root()
+	if !r.Valid() || r.Level() != 0 || r.SideUnits() != MaxCoord {
+		t.Fatalf("bad root: %v", r)
+	}
+	if x, y, z := r.Center(); x != 0.5 || y != 0.5 || z != 0.5 {
+		t.Fatalf("root center (%v,%v,%v)", x, y, z)
+	}
+}
+
+func TestChildParentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		k := randKey(rng, 12)
+		if k.Level() == MaxDepth {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			c := k.Child(i)
+			if !c.Valid() {
+				t.Fatalf("invalid child %v of %v", c, k)
+			}
+			if c.Parent() != k {
+				t.Fatalf("parent(child(%v,%d)) = %v", k, i, c.Parent())
+			}
+			if c.ChildIndex() != i {
+				t.Fatalf("ChildIndex mismatch: %d vs %d", c.ChildIndex(), i)
+			}
+			if !k.IsAncestorOf(c) || !k.Contains(c) {
+				t.Fatalf("ancestor relation broken for %v -> %v", k, c)
+			}
+			if c.IsAncestorOf(k) {
+				t.Fatalf("child is ancestor of parent")
+			}
+		}
+	}
+}
+
+func TestChildrenAreSortedAndDistinct(t *testing.T) {
+	k := Root().Child(3).Child(5)
+	ch := k.Children()
+	for i := 0; i+1 < 8; i++ {
+		if Compare(ch[i], ch[i+1]) >= 0 {
+			t.Fatalf("children not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestCompareMatchesCodeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randKey(rng, 10), randKey(rng, 10)
+		c := Compare(a, b)
+		// Codes order finest-level anchors; for non-nested keys they must
+		// agree with Compare. For nested keys the ancestor precedes.
+		if a.Overlaps(b) {
+			switch {
+			case a == b && c != 0:
+				t.Fatalf("equal keys compare %d", c)
+			case a.IsAncestorOf(b) && c != -1:
+				t.Fatalf("ancestor should precede: %v vs %v -> %d", a, b, c)
+			case b.IsAncestorOf(a) && c != 1:
+				t.Fatalf("descendant should follow: %v vs %v -> %d", a, b, c)
+			}
+			continue
+		}
+		cc := CompareCode(CodeOf(a), CodeOf(b))
+		if cc != c {
+			t.Fatalf("Compare=%d but code compare=%d for %v, %v", c, cc, a, b)
+		}
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		rng := rand.New(rand.NewSource(s1 ^ s2<<1 ^ s3<<2))
+		a, b, c := randKey(rng, 8), randKey(rng, 8), randKey(rng, 8)
+		// Antisymmetry.
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// Transitivity (weak test via sorting consistency).
+		ks := []Key{a, b, c}
+		SortKeys(ks)
+		return Compare(ks[0], ks[1]) <= 0 && Compare(ks[1], ks[2]) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestorAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k := randKey(rng, 15)
+	for l := 0; l <= k.Level(); l++ {
+		a := k.AncestorAt(l)
+		if a.Level() != l || !a.Contains(k) {
+			t.Fatalf("AncestorAt(%d) = %v for %v", l, a, k)
+		}
+	}
+}
+
+func TestDeepestCommonAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		base := randKey(rng, 8)
+		if base.Level() >= MaxDepth-1 {
+			continue
+		}
+		a, b := base, base
+		for i := 0; i < 3 && a.Level() < MaxDepth; i++ {
+			a = a.Child(rng.Intn(8))
+		}
+		for i := 0; i < 3 && b.Level() < MaxDepth; i++ {
+			b = b.Child(rng.Intn(8))
+		}
+		dca := DeepestCommonAncestor(a, b)
+		if !dca.Contains(a) || !dca.Contains(b) {
+			t.Fatalf("DCA %v does not contain %v and %v", dca, a, b)
+		}
+		if dca.Level() < base.Level() {
+			t.Fatalf("DCA %v coarser than known common ancestor %v", dca, base)
+		}
+		// Deepest: no child of dca may contain both.
+		if dca.Level() < MaxDepth {
+			for i := 0; i < 8; i++ {
+				c := dca.Child(i)
+				if c.Contains(a) && c.Contains(b) {
+					t.Fatalf("DCA not deepest: child %v contains both", c)
+				}
+			}
+		}
+	}
+}
+
+func TestFromPointAndContainsPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		l := rng.Intn(12)
+		k := FromPoint(x, y, z, l)
+		if !k.Valid() || k.Level() != l {
+			t.Fatalf("FromPoint invalid: %v", k)
+		}
+		if !k.ContainsPoint(x, y, z) {
+			t.Fatalf("octant %v does not contain its point", k)
+		}
+		lo, hi := k.Bounds()
+		if x < lo[0] || x >= hi[0] || y < lo[1] || y >= hi[1] || z < lo[2] || z >= hi[2] {
+			t.Fatalf("point outside bounds of %v", k)
+		}
+	}
+	// Clamping.
+	k := FromPoint(1.5, -0.5, 0.99999999999, MaxDepth)
+	if !k.Valid() {
+		t.Fatalf("clamped key invalid: %v", k)
+	}
+}
+
+func TestAdjacentBasics(t *testing.T) {
+	a := Root().Child(0) // lower corner
+	b := Root().Child(7) // opposite corner: share only center vertex
+	if !a.Adjacent(b) || !b.Adjacent(a) {
+		t.Fatalf("opposite children should share the center vertex")
+	}
+	if a.Adjacent(a) {
+		t.Fatalf("octant should not be adjacent to itself")
+	}
+	// Parent and child are nested, not adjacent.
+	if a.Adjacent(Root()) || Root().Adjacent(a) {
+		t.Fatalf("nested octants must not be adjacent")
+	}
+	// A fine cell touching a coarse cell's face.
+	c := Root().Child(0).Child(7) // touches center of cube
+	if !c.Adjacent(b) {
+		t.Fatalf("fine cell should be adjacent to coarse cell at touching corner")
+	}
+}
+
+func TestNeighborsSameLevel(t *testing.T) {
+	// Interior octant has 26 neighbors.
+	k := Root().Child(0).Child(7) // interior at level 2
+	nb := k.NeighborsSameLevel()
+	if len(nb) != 26 {
+		t.Fatalf("interior octant: %d neighbors, want 26", len(nb))
+	}
+	for _, n := range nb {
+		if !n.Valid() || n.Level() != k.Level() {
+			t.Fatalf("bad neighbor %v", n)
+		}
+		if !k.Adjacent(n) {
+			t.Fatalf("neighbor %v not adjacent to %v", n, k)
+		}
+	}
+	// Corner octant has 7 neighbors.
+	corner := Root().Child(0).Child(0)
+	if got := len(corner.NeighborsSameLevel()); got != 7 {
+		t.Fatalf("corner octant: %d neighbors, want 7", got)
+	}
+	// Root has none.
+	if len(Root().NeighborsSameLevel()) != 0 {
+		t.Fatalf("root should have no neighbors")
+	}
+}
+
+func TestAdjacentSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randKey(rng, 6), randKey(rng, 6)
+		return a.Adjacent(b) == b.Adjacent(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeRangeNesting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		k := randKey(rng, 10)
+		lo, hi := k.CodeRange()
+		if CompareCode(lo, hi) > 0 {
+			t.Fatalf("inverted code range for %v", k)
+		}
+		if k.Level() < MaxDepth {
+			// Children ranges tile the parent range in order.
+			prev := lo
+			first := true
+			for i := 0; i < 8; i++ {
+				clo, chi := k.Child(i).CodeRange()
+				if first {
+					if clo != lo {
+						t.Fatalf("first child range does not start at parent start")
+					}
+					first = false
+				} else {
+					wantLo := prev.Lo + 1
+					wantHi := prev.Hi
+					if wantLo == 0 {
+						wantHi++
+					}
+					if clo.Lo != wantLo || clo.Hi != wantHi {
+						t.Fatalf("child ranges not contiguous for %v", k)
+					}
+				}
+				prev = chi
+			}
+			if prev != hi {
+				t.Fatalf("children do not tile parent for %v", k)
+			}
+		}
+	}
+}
+
+func TestFirstLastDescendant(t *testing.T) {
+	k := Root().Child(5)
+	fd := k.FirstDescendant(MaxDepth)
+	ld := k.LastDescendant(MaxDepth)
+	if !k.Contains(fd) || !k.Contains(ld) {
+		t.Fatalf("descendants escape octant")
+	}
+	lo, hi := k.CodeRange()
+	if CodeOf(fd) != lo {
+		t.Fatalf("first descendant code mismatch")
+	}
+	flo, _ := ld.CodeRange()
+	if flo != hi {
+		t.Fatalf("last descendant code mismatch")
+	}
+}

@@ -1,0 +1,94 @@
+package morton
+
+import "sort"
+
+// SortKeys sorts keys in place into Morton preorder.
+func SortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool { return Compare(ks[i], ks[j]) < 0 })
+}
+
+// KeysAreSorted reports whether keys are in nondecreasing Morton preorder.
+func KeysAreSorted(ks []Key) bool {
+	return sort.SliceIsSorted(ks, func(i, j int) bool { return Compare(ks[i], ks[j]) < 0 })
+}
+
+// SearchKeys returns the smallest index i such that ks[i] >= k (ks must be
+// sorted); it returns len(ks) if all keys precede k.
+func SearchKeys(ks []Key, k Key) int {
+	return sort.Search(len(ks), func(i int) bool { return Compare(ks[i], k) >= 0 })
+}
+
+// Dedup removes duplicate keys from a sorted slice in place and returns the
+// shortened slice.
+func Dedup(ks []Key) []Key {
+	if len(ks) == 0 {
+		return ks
+	}
+	w := 1
+	for i := 1; i < len(ks); i++ {
+		if ks[i] != ks[w-1] {
+			ks[w] = ks[i]
+			w++
+		}
+	}
+	return ks[:w]
+}
+
+// RemoveAncestors removes, from a sorted slice, every key that is an
+// ancestor of the key following it, yielding a linearized (overlap-free)
+// octree front. The slice is modified in place.
+func RemoveAncestors(ks []Key) []Key {
+	if len(ks) == 0 {
+		return ks
+	}
+	w := 0
+	for i := 0; i < len(ks); i++ {
+		// Drop ks[i] if it contains any later key; in sorted order it is
+		// enough to check the immediate successor.
+		if i+1 < len(ks) && ks[i].Contains(ks[i+1]) {
+			continue
+		}
+		ks[w] = ks[i]
+		w++
+	}
+	return ks[:w]
+}
+
+// IsLinear reports whether the sorted keys are pairwise non-overlapping
+// (no key is an ancestor of another).
+func IsLinear(ks []Key) bool {
+	for i := 0; i+1 < len(ks); i++ {
+		if ks[i].Contains(ks[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsComplete reports whether a sorted, linear key slice exactly covers the
+// unit cube (its code ranges tile [0, 8^MaxDepth) with no gaps).
+func IsComplete(ks []Key) bool {
+	if len(ks) == 0 {
+		return false
+	}
+	lo, _ := ks[0].CodeRange()
+	if lo != (Code{}) {
+		return false
+	}
+	for i := 0; i+1 < len(ks); i++ {
+		_, hi := ks[i].CodeRange()
+		next, _ := ks[i+1].CodeRange()
+		// next must be hi+1.
+		wantLo := hi.Lo + 1
+		wantHi := hi.Hi
+		if wantLo == 0 {
+			wantHi++
+		}
+		if next.Lo != wantLo || next.Hi != wantHi {
+			return false
+		}
+	}
+	_, last := ks[len(ks)-1].CodeRange()
+	_, rootHi := Root().CodeRange()
+	return last == rootHi
+}

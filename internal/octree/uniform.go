@@ -1,0 +1,81 @@
+package octree
+
+import (
+	"sort"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+)
+
+// BuildUniform constructs a uniform-depth octree: every nonempty octant is
+// refined to exactly the given level, so all leaves share one level and the
+// W/X lists are empty. This is the regular-tree regime of the paper's GPU
+// experiments, whose points-per-box values (30/244/1953 at N=1M) are
+// N/8^level for levels 5/4/3.
+func BuildUniform(pts []geom.Point, level int) *Tree {
+	if level < 0 || level > morton.MaxDepth {
+		panic("octree: invalid uniform level")
+	}
+	type pk struct {
+		key morton.Key
+		idx int
+	}
+	pks := make([]pk, len(pts))
+	for i, p := range pts {
+		pks[i] = pk{morton.FromPoint(p.X, p.Y, p.Z, level), i}
+	}
+	sort.Slice(pks, func(i, j int) bool { return morton.Compare(pks[i].key, pks[j].key) < 0 })
+
+	t := &Tree{
+		Points: make([]geom.Point, len(pts)),
+		Perm:   make([]int, len(pts)),
+		index:  make(map[morton.Key]int32),
+	}
+	for i, e := range pks {
+		t.Points[i] = pts[e.idx]
+		t.Perm[i] = e.idx
+	}
+	if len(pts) == 0 {
+		root := t.addNode(morton.Root(), NoNode)
+		t.Nodes[root].IsLeaf = true
+		t.finish()
+		return t
+	}
+	// Create ancestors lazily while scanning the sorted leaf keys.
+	ensure := func(key morton.Key) int32 {
+		chain := []morton.Key{key}
+		k := key
+		for k.Level() > 0 {
+			k = k.Parent()
+			if _, ok := t.index[k]; ok {
+				break
+			}
+			chain = append(chain, k)
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			ck := chain[i]
+			if _, ok := t.index[ck]; ok {
+				continue
+			}
+			parent := NoNode
+			if ck.Level() > 0 {
+				parent = t.index[ck.Parent()]
+			}
+			t.addNode(ck, parent)
+		}
+		return t.index[key]
+	}
+	lo := 0
+	for lo < len(pks) {
+		hi := lo
+		for hi < len(pks) && pks[hi].key == pks[lo].key {
+			hi++
+		}
+		idx := ensure(pks[lo].key)
+		t.Nodes[idx].IsLeaf = true
+		t.Nodes[idx].PtLo, t.Nodes[idx].PtHi = int32(lo), int32(hi)
+		lo = hi
+	}
+	t.finish()
+	return t
+}

@@ -1,0 +1,60 @@
+// Package par provides the bounded worker-pool parallel loop used for
+// within-rank shared-memory parallelism (the per-octant loops of the FMM
+// evaluation phases).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For executes f(i) for i in [0, n) using at most workers goroutines.
+// workers <= 1 runs inline. Iterations are claimed dynamically in chunks to
+// balance irregular per-iteration costs (adaptive trees make neighboring
+// octants wildly different in work).
+func For(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	// Chunked dynamic scheduling: amortize the atomic per ~8 iterations
+	// while still balancing skewed workloads.
+	chunk := 8
+	if n/workers < 64 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DefaultWorkers returns a sensible worker count for CPU-bound loops.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

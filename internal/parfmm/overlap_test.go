@@ -1,0 +1,40 @@
+package parfmm
+
+import (
+	"testing"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+)
+
+func TestOverlapCommMatchesDirect(t *testing.T) {
+	for _, useFFT := range []bool{false, true} {
+		cfg := Config{Kern: kernel.Laplace{}, Q: 25, SurfOrder: 6,
+			OverlapComm: true, UseFFTM2L: useFFT, Workers: 2}
+		want := globalDirect(cfg, geom.Uniform, 900, 29)
+		got, _ := runCase(t, cfg, geom.Uniform, 900, 4, 29)
+		compareToDirect(t, "overlap", got, want, 2e-5)
+	}
+}
+
+func TestOverlapCommMatchesNonOverlapped(t *testing.T) {
+	// Overlapping only reorders the V-list accumulation; up to floating
+	// point association it computes the identical result.
+	base := Config{Kern: kernel.Laplace{}, Q: 20, SurfOrder: 6, Workers: 2}
+	overlapped := base
+	overlapped.OverlapComm = true
+	a, _ := runCase(t, base, geom.Ellipsoid, 800, 4, 31)
+	b, _ := runCase(t, overlapped, geom.Ellipsoid, 800, 4, 31)
+	for pk, av := range a {
+		bv, ok := b[pk]
+		if !ok {
+			t.Fatalf("point sets differ")
+		}
+		for x := range av {
+			d := av[x] - bv[x]
+			if d < -1e-10 || d > 1e-10 {
+				t.Fatalf("overlap changed result: %v vs %v", av[x], bv[x])
+			}
+		}
+	}
+}

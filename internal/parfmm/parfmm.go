@@ -1,0 +1,410 @@
+// Package parfmm is the distributed FMM driver — the paper's end-to-end
+// pipeline on each rank:
+//
+//	setup:      Morton sample sort → Points2Octree → LET (Algorithm 2)
+//	            → work-weighted repartition → LET rebuild
+//	evaluation: S2U + U2U (partial upward densities)
+//	            → ghost density exchange + hypercube reduce-scatter
+//	              (Algorithm 3) for the shared octants' upward densities
+//	            → VLI/XLI → downward pass → WLI/D2T/ULI
+//
+// Each rank evaluates potentials only at the points of the leaves it owns;
+// communication happens exactly at the three points the paper identifies
+// (exact densities for direct interactions, reduction of partial upward
+// densities, broadcast of completed densities — the latter two fused in
+// Algorithm 3).
+package parfmm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/dtree"
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+	"kifmm/internal/kifmm"
+	"kifmm/internal/morton"
+	"kifmm/internal/mpi"
+	"kifmm/internal/reduce"
+)
+
+const tagDensities = 400
+
+// Config selects the FMM variant and its parameters.
+type Config struct {
+	// Kern is the interaction kernel (Laplace or Stokes).
+	Kern kernel.Kernel
+	// Q is the maximum number of points per leaf octant.
+	Q int
+	// SurfOrder is the equivalent/check surface order p.
+	SurfOrder int
+	// Tol is the pseudo-inverse regularization tolerance.
+	Tol float64
+	// MaxDepth caps the octree depth.
+	MaxDepth int
+	// UseFFTM2L selects the FFT-diagonalized V-list translation.
+	UseFFTM2L bool
+	// Workers bounds within-rank loop parallelism (0 or 1 = sequential).
+	Workers int
+	// LoadBalance enables the work-weighted repartition of Section III-B.
+	LoadBalance bool
+	// UseOwnerReduce switches the upward-density reduction to the
+	// owner-based baseline (the scheme the paper retired) for ablations.
+	UseOwnerReduce bool
+	// OverlapComm overlaps the evaluation-phase communication with
+	// computation: while the ghost-density exchange and the upward-density
+	// reduce-scatter are in flight, the V-list interactions whose sources
+	// are purely local (complete before any communication) are computed;
+	// the shared-source remainder runs after the reduction completes. The
+	// paper lists this overlap as future work ("we do not thoroughly
+	// overlap computation and communication"). CPU path only.
+	OverlapComm bool
+	// Accel, when non-nil, substitutes streaming-device implementations
+	// for individual evaluation phases (the GPU path).
+	Accel Accelerator
+	// Ops, when non-nil, supplies precomputed translation operators
+	// (typically shared across ranks — Operators are immutable and safe
+	// for concurrent use). When nil they are built per call.
+	Ops *kifmm.Operators
+}
+
+// Accelerator lets a streaming device take over evaluation phases; see
+// internal/gpu. Each method evaluates the same mathematical operator as the
+// engine phase it replaces.
+type Accelerator interface {
+	// ULI computes the direct interactions instead of Engine.ULI.
+	ULI(e *kifmm.Engine)
+	// S2U computes the source-to-up step instead of Engine.S2U.
+	S2U(e *kifmm.Engine)
+	// D2T computes the down-to-targets step instead of Engine.D2T.
+	D2T(e *kifmm.Engine)
+	// VLI computes the V-list translations instead of Engine.VLI.
+	VLI(e *kifmm.Engine)
+}
+
+// WXAccelerator is the optional extension for accelerators that also take
+// over the W- and X-list phases (the paper's "ongoing work"). When the
+// configured Accelerator implements it, parfmm routes those phases to the
+// device as well.
+type WXAccelerator interface {
+	Accelerator
+	WLI(e *kifmm.Engine)
+	XLI(e *kifmm.Engine)
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Kern == nil {
+		cfg.Kern = kernel.Laplace{}
+	}
+	if cfg.Q <= 0 {
+		cfg.Q = 50
+	}
+	if cfg.SurfOrder <= 0 {
+		cfg.SurfOrder = 6
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-9
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 24
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+}
+
+// Result holds one rank's outputs.
+type Result struct {
+	// OwnedPoints are the points this rank ended up owning (setup
+	// redistributes points), in tree order.
+	OwnedPoints []geom.Point
+	// Potentials holds TrgDim components per owned point, aligned with
+	// OwnedPoints.
+	Potentials []float64
+	// Densities holds SrcDim components per owned point.
+	Densities []float64
+	// Prof carries this rank's phase timings and flop counts.
+	Prof *diag.Profile
+	// Tree is the rank's local essential tree (for inspection).
+	Tree *dtree.DistTree
+	// ReduceStats reports the upward-density reduction traffic.
+	ReduceStats reduce.Stats
+	// SetupCommBytes/SetupCommMsgs count this rank's outgoing traffic
+	// during setup (sort, tree, LET, balancing).
+	SetupCommBytes, SetupCommMsgs int64
+	// EvalCommBytes/EvalCommMsgs count the evaluation-phase traffic (ghost
+	// densities + the upward-density reduction).
+	EvalCommBytes, EvalCommMsgs int64
+}
+
+// Evaluate runs the full distributed FMM: pts/densities are this rank's
+// share of the input (any distribution); the result holds the potentials at
+// the points this rank owns after setup. Collective. The communicator size
+// must be a power of two unless UseOwnerReduce is set.
+func Evaluate(c *mpi.Comm, pts []geom.Point, densities []float64, cfg Config) *Result {
+	cfg.defaults()
+	sd := cfg.Kern.SrcDim()
+	if len(densities) != sd*len(pts) {
+		panic(fmt.Sprintf("parfmm: %d densities for %d points (SrcDim %d)",
+			len(densities), len(pts), sd))
+	}
+	prof := diag.NewProfile()
+	setupSnap := c.Stats().Snap()
+
+	// ---- Setup: sort, tree, LET, balance. ----
+	stopSetup := prof.Start(diag.PhaseSetup)
+	leaves := dtree.Points2Octree(c, pts, densities, sd, cfg.Q, cfg.MaxDepth, prof)
+
+	stopLET := prof.Start(diag.PhaseLET)
+	dt := dtree.BuildLET(c, leaves)
+	stopLET()
+
+	if cfg.LoadBalance {
+		stopBal := prof.Start(diag.PhaseBal)
+		w := dtree.LeafWorkWeights(dt, surfCount(cfg.SurfOrder))
+		leaves = dtree.RepartitionByWeight(c, leaves, w)
+		dt = dtree.BuildLET(c, leaves)
+		stopBal()
+	}
+	stopSetup()
+	res0Setup := setupSnap.Delta(c.Stats().Snap())
+
+	// ---- Evaluation. ----
+	ops := cfg.Ops
+	if ops == nil {
+		ops = kifmm.NewOperators(cfg.Kern, cfg.SurfOrder, cfg.Tol)
+	}
+	eng := kifmm.NewEngine(ops, dt.Tree)
+	eng.UseFFTM2L = cfg.UseFFTM2L
+	eng.Workers = cfg.Workers
+	eng.Prof = prof
+
+	res := &Result{Prof: prof, Tree: dt}
+	res.SetupCommBytes, res.SetupCommMsgs = res0Setup.Bytes, res0Setup.Messages
+	evalSnap := c.Stats().Snap()
+
+	stopTotal := prof.Start(diag.PhaseTotalEval)
+
+	// Place owned densities into the engine (tree point order).
+	placeOwnedDensities(eng, dt, sd)
+
+	// Partial upward densities from the local subtree.
+	if cfg.Accel != nil {
+		t0 := time.Now()
+		cfg.Accel.S2U(eng)
+		prof.AddTime(diag.PhaseUpward, time.Since(t0))
+	} else {
+		eng.S2U()
+	}
+	eng.U2U()
+
+	// Communication: ghost densities for direct interactions, then the
+	// reduce-scatter completing the shared octants' upward densities.
+	if cfg.OverlapComm && cfg.Accel == nil {
+		// Run the communication on its own goroutine and meanwhile compute
+		// the V-list interactions whose sources are not shared (their
+		// upward densities are already final).
+		shared := make([]bool, dt.Tree.NumNodes())
+		for _, i := range dt.SharedOctants() {
+			shared[i] = true
+		}
+		type commResult struct {
+			items []reduce.Item
+			st    reduce.Stats
+		}
+		ch := make(chan commResult, 1)
+		go func() {
+			t0 := time.Now()
+			exchangeGhostDensities(c, eng, dt, sd)
+			items, st := reducePartials(c, eng, dt, cfg)
+			prof.AddTime(diag.PhaseComm, time.Since(t0))
+			ch <- commResult{items: items, st: st}
+		}()
+		eng.VLIFiltered(func(i int32) bool { return !shared[i] })
+		out := <-ch
+		res.ReduceStats = out.st
+		installUpward(eng, dt, out.items)
+		eng.VLIFiltered(func(i int32) bool { return shared[i] })
+	} else {
+		stopComm := prof.Start(diag.PhaseComm)
+		exchangeGhostDensities(c, eng, dt, sd)
+		items, st := reducePartials(c, eng, dt, cfg)
+		installUpward(eng, dt, items)
+		res.ReduceStats = st
+		stopComm()
+	}
+
+	// Far-field translations and local passes.
+	if cfg.Accel != nil {
+		t0 := time.Now()
+		cfg.Accel.VLI(eng)
+		prof.AddTime(diag.PhaseVList, time.Since(t0))
+	} else if !cfg.OverlapComm {
+		eng.VLI()
+	}
+	wx, hasWX := cfg.Accel.(WXAccelerator)
+	if hasWX {
+		t0 := time.Now()
+		wx.XLI(eng)
+		prof.AddTime(diag.PhaseXList, time.Since(t0))
+	} else {
+		eng.XLI()
+	}
+	eng.Downward()
+	if hasWX {
+		t0 := time.Now()
+		wx.WLI(eng)
+		prof.AddTime(diag.PhaseWList, time.Since(t0))
+	} else {
+		eng.WLI()
+	}
+	if cfg.Accel != nil {
+		t0 := time.Now()
+		cfg.Accel.D2T(eng)
+		prof.AddTime(diag.PhaseDownward, time.Since(t0))
+		t0 = time.Now()
+		cfg.Accel.ULI(eng)
+		prof.AddTime(diag.PhaseUList, time.Since(t0))
+	} else {
+		eng.D2T()
+		eng.ULI()
+	}
+	stopTotal()
+	evalTraffic := evalSnap.Delta(c.Stats().Snap())
+	res.EvalCommBytes, res.EvalCommMsgs = evalTraffic.Bytes, evalTraffic.Messages
+	prof.AddTime(diag.PhaseComp, prof.Time(diag.PhaseTotalEval)-prof.Time(diag.PhaseComm))
+	var compFlops int64
+	for _, ph := range []string{
+		diag.PhaseUpward, diag.PhaseUList, diag.PhaseVList,
+		diag.PhaseWList, diag.PhaseXList, diag.PhaseDownward,
+	} {
+		compFlops += prof.Flops(ph)
+	}
+	prof.AddFlops(diag.PhaseComp, compFlops)
+	prof.AddFlops(diag.PhaseTotalEval, compFlops)
+
+	collectOwned(eng, dt, res, sd, cfg.Kern.TrgDim())
+	return res
+}
+
+func surfCount(p int) int { return p*p*p - (p-2)*(p-2)*(p-2) }
+
+// placeOwnedDensities copies each owned leaf's densities into the engine's
+// tree-ordered density array.
+func placeOwnedDensities(eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
+	t := dt.Tree
+	for _, l := range dt.Leaves {
+		idx, ok := t.Index(l.Key)
+		if !ok {
+			panic("parfmm: owned leaf missing from LET")
+		}
+		n := &t.Nodes[idx]
+		if len(l.Den) > 0 {
+			copy(eng.Density[int(n.PtLo)*sd:int(n.PtHi)*sd], l.Den)
+		}
+	}
+}
+
+// exchangeGhostDensities forwards owned leaf densities to the ranks using
+// them as U/X-list sources (the paper's "communicate the exact densities"
+// step — local, neighbor-to-neighbor traffic).
+func exchangeGhostDensities(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
+	p := c.Size()
+	t := dt.Tree
+	enc := make([][]byte, p)
+	for k2 := 0; k2 < p; k2++ {
+		var b []byte
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(dt.SentLeaves[k2])))
+		b = append(b, cnt[:]...)
+		for _, idx := range dt.SentLeaves[k2] {
+			n := &t.Nodes[idx]
+			b = appendKeyBytes(b, n.Key)
+			b = append(b, mpi.Float64sToBytes(eng.Density[int(n.PtLo)*sd:int(n.PtHi)*sd])...)
+		}
+		enc[k2] = b
+	}
+	recv := c.Alltoallv(enc)
+	for src := 0; src < p; src++ {
+		if src == c.Rank() || len(recv[src]) == 0 {
+			continue
+		}
+		b := recv[src]
+		cnt := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		for i := 0; i < cnt; i++ {
+			var key morton.Key
+			key, b = decodeKeyBytes(b)
+			idx, ok := t.Index(key)
+			if !ok {
+				panic("parfmm: received densities for unknown ghost leaf")
+			}
+			n := &t.Nodes[idx]
+			want := (int(n.PtHi) - int(n.PtLo)) * sd * 8
+			copy(eng.Density[int(n.PtLo)*sd:int(n.PtHi)*sd], mpi.BytesToFloat64s(b[:want]))
+			b = b[want:]
+		}
+	}
+}
+
+// reducePartials completes the shared octants' upward densities with
+// Algorithm 3 (or the owner-based baseline), returning the completed items
+// without touching engine state (so the caller can overlap computation).
+func reducePartials(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, cfg Config) ([]reduce.Item, reduce.Stats) {
+	vecLen := len(eng.U[0])
+	var items []reduce.Item
+	for _, i := range dt.SharedOctants() {
+		n := &dt.Tree.Nodes[i]
+		if !n.Local {
+			continue // only contributors inject partials
+		}
+		items = append(items, reduce.Item{Key: n.Key, U: eng.U[i]})
+	}
+	if cfg.UseOwnerReduce {
+		return reduce.Owner(c, dt.Part, items, vecLen)
+	}
+	return reduce.Hypercube(c, dt.Part, items, vecLen)
+}
+
+// installUpward writes the completed upward densities into the engine.
+func installUpward(eng *kifmm.Engine, dt *dtree.DistTree, items []reduce.Item) {
+	for _, it := range items {
+		if idx, ok := dt.Tree.Index(it.Key); ok {
+			copy(eng.U[idx], it.U)
+		}
+	}
+}
+
+// collectOwned extracts the owned points, densities and potentials in tree
+// order.
+func collectOwned(eng *kifmm.Engine, dt *dtree.DistTree, res *Result, sd, td int) {
+	t := dt.Tree
+	for _, l := range dt.Leaves {
+		idx, _ := t.Index(l.Key)
+		n := &t.Nodes[idx]
+		res.OwnedPoints = append(res.OwnedPoints, t.Points[n.PtLo:n.PtHi]...)
+		res.Potentials = append(res.Potentials, eng.Potential[int(n.PtLo)*td:int(n.PtHi)*td]...)
+		res.Densities = append(res.Densities, eng.Density[int(n.PtLo)*sd:int(n.PtHi)*sd]...)
+	}
+}
+
+func appendKeyBytes(b []byte, k morton.Key) []byte {
+	var buf [13]byte
+	binary.LittleEndian.PutUint32(buf[0:], k.X)
+	binary.LittleEndian.PutUint32(buf[4:], k.Y)
+	binary.LittleEndian.PutUint32(buf[8:], k.Z)
+	buf[12] = k.L
+	return append(b, buf[:]...)
+}
+
+func decodeKeyBytes(b []byte) (morton.Key, []byte) {
+	k := morton.Key{
+		X: binary.LittleEndian.Uint32(b[0:]),
+		Y: binary.LittleEndian.Uint32(b[4:]),
+		Z: binary.LittleEndian.Uint32(b[8:]),
+		L: b[12],
+	}
+	return k, b[13:]
+}

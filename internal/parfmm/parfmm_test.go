@@ -1,0 +1,204 @@
+package parfmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+	"kifmm/internal/mpi"
+)
+
+// pointKey identifies a point exactly (coordinates survive the wire
+// bit-for-bit).
+type pointKey struct{ x, y, z float64 }
+
+// runCase evaluates the distributed FMM for n points split over p ranks and
+// returns potentials keyed by point, plus the per-rank results.
+func runCase(t *testing.T, cfg Config, dist geom.Distribution, n, p int, seed int64) (map[pointKey][]float64, []*Result) {
+	t.Helper()
+	td := cfg.Kern.TrgDim()
+	if td == 0 {
+		td = 1
+	}
+	results := make([]*Result, p)
+	mpi.Run(p, func(c *mpi.Comm) {
+		pts := geom.GenerateChunk(dist, n, seed, c.Rank(), p)
+		den := chunkDensities(cfg, dist, n, seed, c.Rank(), p)
+		results[c.Rank()] = Evaluate(c, pts, den, cfg)
+	})
+	got := make(map[pointKey][]float64, n)
+	for _, res := range results {
+		for i, pt := range res.OwnedPoints {
+			got[pointKey{pt.X, pt.Y, pt.Z}] = res.Potentials[i*td : (i+1)*td]
+		}
+	}
+	return got, results
+}
+
+// chunkDensities derives this rank's density chunk deterministically from
+// the global density stream so all p produce the same global input.
+func chunkDensities(cfg Config, dist geom.Distribution, n int, seed int64, r, p int) []float64 {
+	k := cfg.Kern
+	if k == nil {
+		k = kernel.Laplace{}
+	}
+	sd := k.SrcDim()
+	rng := rand.New(rand.NewSource(seed * 31))
+	all := make([]float64, n*sd)
+	for i := range all {
+		all[i] = rng.NormFloat64()
+	}
+	lo, hi := r*n/p, (r+1)*n/p
+	return all[lo*sd : hi*sd]
+}
+
+// globalDirect computes the exact reference keyed by point.
+func globalDirect(cfg Config, dist geom.Distribution, n int, seed int64) map[pointKey][]float64 {
+	k := cfg.Kern
+	if k == nil {
+		k = kernel.Laplace{}
+	}
+	pts := geom.Generate(dist, n, seed)
+	den := chunkDensities(cfg, dist, n, seed, 0, 1)
+	f := kernel.Direct(k, pts, pts, den)
+	td := k.TrgDim()
+	out := make(map[pointKey][]float64, n)
+	for i, pt := range pts {
+		out[pointKey{pt.X, pt.Y, pt.Z}] = f[i*td : (i+1)*td]
+	}
+	return out
+}
+
+func compareToDirect(t *testing.T, name string, got, want map[pointKey][]float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: point sets differ: %d vs %d", name, len(got), len(want))
+	}
+	var num, den float64
+	for pk, w := range want {
+		g, ok := got[pk]
+		if !ok {
+			t.Fatalf("%s: point %v missing from distributed result", name, pk)
+		}
+		for x := range w {
+			d := g[x] - w[x]
+			num += d * d
+			den += w[x] * w[x]
+		}
+	}
+	if err := math.Sqrt(num / den); err > tol {
+		t.Fatalf("%s: rel err %g > %g", name, err, tol)
+	}
+}
+
+func TestDistributedMatchesDirectLaplace(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 25, SurfOrder: 6, Workers: 2}
+	want := globalDirect(cfg, geom.Uniform, 1000, 3)
+	for _, p := range []int{1, 2, 4, 8} {
+		got, _ := runCase(t, cfg, geom.Uniform, 1000, p, 3)
+		compareToDirect(t, "laplace", got, want, 2e-5)
+	}
+}
+
+func TestDistributedMatchesDirectNonuniform(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 15, SurfOrder: 6, Workers: 2}
+	want := globalDirect(cfg, geom.Ellipsoid, 1200, 5)
+	for _, p := range []int{2, 8} {
+		got, _ := runCase(t, cfg, geom.Ellipsoid, 1200, p, 5)
+		compareToDirect(t, "ellipsoid", got, want, 5e-5)
+	}
+}
+
+func TestDistributedStokes(t *testing.T) {
+	cfg := Config{Kern: kernel.Stokes{}, Q: 30, SurfOrder: 4, Workers: 2}
+	want := globalDirect(cfg, geom.Uniform, 500, 7)
+	got, _ := runCase(t, cfg, geom.Uniform, 500, 4, 7)
+	compareToDirect(t, "stokes", got, want, 5e-3)
+}
+
+func TestDistributedWithLoadBalance(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 15, SurfOrder: 6, LoadBalance: true, Workers: 2}
+	want := globalDirect(cfg, geom.Ellipsoid, 1200, 9)
+	got, results := runCase(t, cfg, geom.Ellipsoid, 1200, 4, 9)
+	compareToDirect(t, "balanced", got, want, 5e-5)
+	// Load balancing must improve (or at least not destroy) the flop
+	// balance: the max/avg flop ratio should be modest.
+	var flops []int64
+	for _, res := range results {
+		flops = append(flops, res.Prof.Flops(diag.PhaseComp))
+	}
+	var mx, sum int64
+	for _, f := range flops {
+		if f > mx {
+			mx = f
+		}
+		sum += f
+	}
+	avg := float64(sum) / float64(len(flops))
+	if float64(mx)/avg > 3.5 {
+		t.Fatalf("flop imbalance too high after balancing: max=%d avg=%g", mx, avg)
+	}
+}
+
+func TestDistributedWithFFTM2L(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 25, SurfOrder: 6, UseFFTM2L: true, Workers: 2}
+	want := globalDirect(cfg, geom.Uniform, 800, 11)
+	got, _ := runCase(t, cfg, geom.Uniform, 800, 4, 11)
+	compareToDirect(t, "fft-m2l", got, want, 2e-5)
+}
+
+func TestDistributedOwnerReduceAblation(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 25, SurfOrder: 6, UseOwnerReduce: true, Workers: 2}
+	want := globalDirect(cfg, geom.Uniform, 800, 13)
+	got, _ := runCase(t, cfg, geom.Uniform, 800, 4, 13)
+	compareToDirect(t, "owner-reduce", got, want, 2e-5)
+}
+
+func TestProfilesRecordAllPhases(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 20, SurfOrder: 4, Workers: 2}
+	_, results := runCase(t, cfg, geom.Ellipsoid, 900, 4, 15)
+	for r, res := range results {
+		for _, ph := range []string{diag.PhaseSetup, diag.PhaseSort, diag.PhaseTree,
+			diag.PhaseLET, diag.PhaseTotalEval, diag.PhaseComm, diag.PhaseComp} {
+			if res.Prof.Time(ph) <= 0 {
+				t.Fatalf("rank %d: phase %s has no recorded time", r, ph)
+			}
+		}
+		if res.Prof.Flops(diag.PhaseComp) <= 0 {
+			t.Fatalf("rank %d: no compute flops", r)
+		}
+	}
+}
+
+func TestResultDensitiesTravelWithPoints(t *testing.T) {
+	cfg := Config{Kern: kernel.Laplace{}, Q: 20, SurfOrder: 4, Workers: 1}
+	const n, p = 600, 4
+	// Build the global (point → density) map.
+	pts := geom.Generate(geom.Uniform, n, 17)
+	den := chunkDensities(cfg, geom.Uniform, n, 17, 0, 1)
+	want := make(map[pointKey]float64, n)
+	for i, pt := range pts {
+		want[pointKey{pt.X, pt.Y, pt.Z}] = den[i]
+	}
+	results := make([]*Result, p)
+	mpi.Run(p, func(c *mpi.Comm) {
+		cpts := geom.GenerateChunk(geom.Uniform, n, 17, c.Rank(), p)
+		cden := chunkDensities(cfg, geom.Uniform, n, 17, c.Rank(), p)
+		results[c.Rank()] = Evaluate(c, cpts, cden, cfg)
+	})
+	seen := 0
+	for _, res := range results {
+		for i, pt := range res.OwnedPoints {
+			if res.Densities[i] != want[pointKey{pt.X, pt.Y, pt.Z}] {
+				t.Fatalf("density did not travel with point %v", pt)
+			}
+			seen++
+		}
+	}
+	if seen != n {
+		t.Fatalf("points lost: %d of %d", seen, n)
+	}
+}

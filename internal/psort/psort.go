@@ -1,0 +1,165 @@
+// Package psort implements the distributed sorts used by the tree
+// construction: a parallel sample sort (the workhorse that Morton-orders the
+// input points — the paper's dominant setup cost) and a hypercube bitonic
+// sort (the classical compare-split network the paper's sort combines with
+// sample sort, per Grama et al.).
+package psort
+
+import (
+	"sort"
+
+	"kifmm/internal/mpi"
+)
+
+// Codec serializes items for the wire.
+type Codec[T any] struct {
+	Enc func([]T) []byte
+	Dec func([]byte) []T
+}
+
+const (
+	tagPartition = 100
+)
+
+// SampleSort globally sorts the distributed multiset whose local share is
+// items: afterwards each rank holds a contiguous chunk of the global sorted
+// order (rank r's chunk precedes rank r+1's). Chunk sizes are approximately
+// balanced by regular sampling. The input slice is not modified.
+func SampleSort[T any](c *mpi.Comm, items []T, less func(a, b T) bool, codec Codec[T]) []T {
+	p := c.Size()
+	local := append([]T(nil), items...)
+	sort.SliceStable(local, func(i, j int) bool { return less(local[i], local[j]) })
+	if p == 1 {
+		return local
+	}
+
+	// Regular sampling: p−1 evenly spaced local samples.
+	var samples []T
+	if len(local) > 0 {
+		for i := 1; i < p; i++ {
+			samples = append(samples, local[i*len(local)/p])
+		}
+	}
+	gathered := c.AllGather(codec.Enc(samples))
+	var all []T
+	for _, g := range gathered {
+		all = append(all, codec.Dec(g)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return less(all[i], all[j]) })
+
+	// Global splitters: p−1 evenly spaced positions in the sample union.
+	splitters := make([]T, 0, p-1)
+	if len(all) > 0 {
+		for i := 1; i < p; i++ {
+			splitters = append(splitters, all[i*len(all)/p])
+		}
+	}
+
+	// Partition local items into destination bins.
+	parts := make([][]T, p)
+	for _, it := range local {
+		dst := sort.Search(len(splitters), func(i int) bool { return less(it, splitters[i]) })
+		parts[dst] = append(parts[dst], it)
+	}
+	enc := make([][]byte, p)
+	for i := range parts {
+		enc[i] = codec.Enc(parts[i])
+	}
+	recv := c.Alltoallv(enc)
+	var out []T
+	for _, b := range recv {
+		out = append(out, codec.Dec(b)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// BitonicSort sorts a distributed array across a power-of-two number of
+// ranks with the hypercube compare-split network. Every rank must hold the
+// same number of items; afterwards rank r holds the r-th chunk of the global
+// ascending order. The input slice is not modified.
+func BitonicSort[T any](c *mpi.Comm, items []T, less func(a, b T) bool, codec Codec[T]) []T {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		panic("psort: BitonicSort requires a power-of-two communicator")
+	}
+	r := c.Rank()
+	local := append([]T(nil), items...)
+	sort.SliceStable(local, func(i, j int) bool { return less(local[i], local[j]) })
+	if p == 1 {
+		return local
+	}
+	d := 0
+	for 1<<d < p {
+		d++
+	}
+	for stage := 0; stage < d; stage++ {
+		ascending := r&(1<<(stage+1)) == 0
+		if stage == d-1 {
+			ascending = true // final merge is a single ascending sequence
+		}
+		for sub := stage; sub >= 0; sub-- {
+			partner := r ^ (1 << sub)
+			keepLow := (r&(1<<sub) == 0) == ascending
+			theirs := codec.Dec(c.Sendrecv(partner, tagPartition+sub, codec.Enc(local)))
+			local = compareSplit(local, theirs, less, keepLow)
+		}
+	}
+	return local
+}
+
+// compareSplit merges two sorted runs and keeps len(mine) elements from the
+// low or high end.
+func compareSplit[T any](mine, theirs []T, less func(a, b T) bool, keepLow bool) []T {
+	merged := make([]T, 0, len(mine)+len(theirs))
+	i, j := 0, 0
+	for i < len(mine) && j < len(theirs) {
+		if less(theirs[j], mine[i]) {
+			merged = append(merged, theirs[j])
+			j++
+		} else {
+			merged = append(merged, mine[i])
+			i++
+		}
+	}
+	merged = append(merged, mine[i:]...)
+	merged = append(merged, theirs[j:]...)
+	if keepLow {
+		return merged[:len(mine)]
+	}
+	return merged[len(merged)-len(mine):]
+}
+
+// IsGloballySorted verifies (collectively) that each rank's chunk is sorted
+// and chunk boundaries are nondecreasing across ranks. All ranks receive the
+// verdict.
+func IsGloballySorted[T any](c *mpi.Comm, items []T, less func(a, b T) bool, codec Codec[T]) bool {
+	ok := int64(1)
+	for i := 1; i < len(items); i++ {
+		if less(items[i], items[i-1]) {
+			ok = 0
+		}
+	}
+	// Exchange boundary elements: send my first element to the left
+	// neighbor, which checks it is >= its last element.
+	var boundary []T
+	if len(items) > 0 {
+		boundary = items[:1]
+	}
+	all := c.AllGather(codec.Enc(boundary))
+	// Rank r checks against the first element of the next nonempty rank.
+	if len(items) > 0 {
+		last := items[len(items)-1]
+		for nr := c.Rank() + 1; nr < c.Size(); nr++ {
+			next := codec.Dec(all[nr])
+			if len(next) == 0 {
+				continue
+			}
+			if less(next[0], last) {
+				ok = 0
+			}
+			break
+		}
+	}
+	return c.SumInt64([]int64{ok})[0] == int64(c.Size())
+}

@@ -1,0 +1,256 @@
+// Package reduce implements the communication phase that completes the
+// upward densities of "shared" octants (octants whose contributors and
+// users span multiple ranks): the paper's novel hypercube
+// reduce-and-scatter (Algorithm 3), with O(t_s·log p + t_w·m(3√p−2))
+// complexity, and the owner-based point-to-point scheme it replaced (which
+// failed at 64K ranks because near-root octants have up to p users).
+package reduce
+
+import (
+	"encoding/binary"
+	"math"
+
+	"kifmm/internal/dtree"
+	"kifmm/internal/morton"
+	"kifmm/internal/mpi"
+)
+
+const (
+	tagHypercube = 300
+	tagOwnerIn   = 310
+	tagOwnerOut  = 311
+)
+
+// Item is one shared octant's (partial or complete) upward density vector.
+type Item struct {
+	Key morton.Key
+	U   []float64
+}
+
+func encodeItems(items []Item, vecLen int) []byte {
+	var b []byte
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(items)))
+	b = append(b, n[:]...)
+	for _, it := range items {
+		var kb [13]byte
+		binary.LittleEndian.PutUint32(kb[0:], it.Key.X)
+		binary.LittleEndian.PutUint32(kb[4:], it.Key.Y)
+		binary.LittleEndian.PutUint32(kb[8:], it.Key.Z)
+		kb[12] = it.Key.L
+		b = append(b, kb[:]...)
+		if len(it.U) != vecLen {
+			panic("reduce: inconsistent vector length")
+		}
+		b = append(b, mpi.Float64sToBytes(it.U)...)
+	}
+	return b
+}
+
+func decodeItems(b []byte, vecLen int) []Item {
+	if len(b) == 0 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	out := make([]Item, n)
+	for i := 0; i < n; i++ {
+		out[i].Key = morton.Key{
+			X: binary.LittleEndian.Uint32(b[0:]),
+			Y: binary.LittleEndian.Uint32(b[4:]),
+			Z: binary.LittleEndian.Uint32(b[8:]),
+			L: b[12],
+		}
+		b = b[13:]
+		out[i].U = mpi.BytesToFloat64s(b[:8*vecLen])
+		b = b[8*vecLen:]
+	}
+	return out
+}
+
+// relevance tests whether an octant's interaction region — the colleague
+// neighborhood of its parent, which encloses I(β) — intersects the regions
+// of ranks [kLo, kHi].
+type relevance struct {
+	part *dtree.Partition
+}
+
+func (rv relevance) relevant(key morton.Key, kLo, kHi int) bool {
+	if kLo > kHi {
+		return false
+	}
+	if key.Level() <= 1 {
+		return true // parent neighborhood is the whole cube
+	}
+	lo, hi, ok := rv.part.IntervalOfRanks(kLo, kHi)
+	if !ok {
+		return false
+	}
+	parent := key.Parent()
+	plo, phi := parent.CodeRange()
+	if morton.RangesOverlap(plo, phi, lo, hi) {
+		return true
+	}
+	for _, nb := range parent.NeighborsSameLevel() {
+		nlo, nhi := nb.CodeRange()
+		if morton.RangesOverlap(nlo, nhi, lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports the traffic incurred by one reduction.
+type Stats struct {
+	// OctantsSentPerRound[i] is the number of octant records this rank sent
+	// in round i (hypercube only).
+	OctantsSentPerRound []int
+	// OctantsSentTotal is the total octant records sent by this rank.
+	OctantsSentTotal int
+	// MessagesSent is the number of point-to-point messages sent.
+	MessagesSent int
+}
+
+// Hypercube runs Algorithm 3: log p rounds over the hypercube; in round i
+// each rank exchanges with the partner differing in bit i, forwarding only
+// the octants relevant to the partner's half-subcube and discarding those no
+// longer relevant to its own. Afterwards each rank holds the globally summed
+// density of every shared octant relevant to it. Requires a power-of-two
+// communicator. Collective.
+func Hypercube(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]Item, Stats) {
+	p, r := c.Size(), c.Rank()
+	if p&(p-1) != 0 {
+		panic("reduce: Hypercube requires a power-of-two communicator")
+	}
+	var st Stats
+	if p == 1 {
+		return items, st
+	}
+	d := 0
+	for 1<<d < p {
+		d++
+	}
+	rv := relevance{part: part}
+
+	// Working set: key → summed vector.
+	set := make(map[morton.Key][]float64, len(items))
+	for _, it := range items {
+		u := make([]float64, vecLen)
+		copy(u, it.U)
+		set[it.Key] = u
+	}
+
+	for i := d - 1; i >= 0; i-- {
+		s := r ^ (1 << i)
+		us := s &^ ((1 << i) - 1) // s AND (2^d − 2^i)
+		ue := s | ((1 << i) - 1)  // s OR (2^i − 1)
+		var outgoing []Item
+		for key, u := range set {
+			if rv.relevant(key, us, ue) {
+				outgoing = append(outgoing, Item{Key: key, U: u})
+			}
+		}
+		st.OctantsSentPerRound = append(st.OctantsSentPerRound, len(outgoing))
+		st.OctantsSentTotal += len(outgoing)
+		st.MessagesSent++
+
+		incoming := decodeItems(c.Sendrecv(s, tagHypercube+i, encodeItems(outgoing, vecLen)), vecLen)
+
+		// Drop octants no longer relevant to my remaining subcube.
+		qs := r &^ ((1 << i) - 1)
+		qe := r | ((1 << i) - 1)
+		for key := range set {
+			if !rv.relevant(key, qs, qe) {
+				delete(set, key)
+			}
+		}
+		// Merge: sum duplicates (the reduction).
+		for _, it := range incoming {
+			if !rv.relevant(it.Key, qs, qe) {
+				continue
+			}
+			if u, ok := set[it.Key]; ok {
+				for x := range u {
+					u[x] += it.U[x]
+				}
+			} else {
+				u := make([]float64, vecLen)
+				copy(u, it.U)
+				set[it.Key] = u
+			}
+		}
+	}
+	out := make([]Item, 0, len(set))
+	for key, u := range set {
+		out = append(out, Item{Key: key, U: u})
+	}
+	return out, st
+}
+
+// Owner runs the baseline scheme the paper retired: every shared octant has
+// a single owner rank (the owner of its anchor cell); contributors send
+// their partials to the owner, the owner sums and sends the result to every
+// user. Near-root octants make the owner's fan-out O(p) — the bottleneck
+// that motivated Algorithm 3. Collective.
+func Owner(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]Item, Stats) {
+	p, r := c.Size(), c.Rank()
+	var st Stats
+	// Phase 1: route partials to owners.
+	toOwner := make([][]Item, p)
+	for _, it := range items {
+		o := part.OwnerOf(it.Key)
+		toOwner[o] = append(toOwner[o], it)
+	}
+	enc := make([][]byte, p)
+	for o := range toOwner {
+		enc[o] = encodeItems(toOwner[o], vecLen)
+		if o != r && len(toOwner[o]) > 0 {
+			st.MessagesSent++
+			st.OctantsSentTotal += len(toOwner[o])
+		}
+	}
+	recv := c.Alltoallv(enc)
+
+	// Owners sum.
+	sums := make(map[morton.Key][]float64)
+	for src := 0; src < p; src++ {
+		for _, it := range decodeItems(recv[src], vecLen) {
+			if u, ok := sums[it.Key]; ok {
+				for x := range u {
+					u[x] += it.U[x]
+				}
+			} else {
+				u := make([]float64, vecLen)
+				copy(u, it.U)
+				sums[it.Key] = u
+			}
+		}
+	}
+
+	// Phase 2: owners scatter completed octants to users.
+	toUser := make([][]Item, p)
+	for key, u := range sums {
+		for _, k2 := range part.Users(key) {
+			toUser[k2] = append(toUser[k2], Item{Key: key, U: u})
+		}
+	}
+	for k2 := range toUser {
+		enc[k2] = encodeItems(toUser[k2], vecLen)
+		if k2 != r && len(toUser[k2]) > 0 {
+			st.MessagesSent++
+			st.OctantsSentTotal += len(toUser[k2])
+		}
+	}
+	recv = c.Alltoallv(enc)
+	var out []Item
+	for src := 0; src < p; src++ {
+		out = append(out, decodeItems(recv[src], vecLen)...)
+	}
+	return out, st
+}
+
+// Bound returns the paper's per-rank octant-traffic bound m·(3√p − 2) for
+// the hypercube reduction.
+func Bound(m, p int) float64 {
+	return float64(m) * (3*math.Sqrt(float64(p)) - 2)
+}
