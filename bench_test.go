@@ -163,6 +163,62 @@ func BenchmarkAcceleratedEvaluate_10k(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateReplan and BenchmarkPlanApply bracket the plan-reuse win
+// that fmmserve's plan cache banks: Evaluate rebuilds the octree, the
+// interaction lists, and the engine every call; Plan.Apply reuses them and
+// pays only the density-dependent phases (the iterative-solver pattern).
+// BenchmarkColdStartEvaluate additionally pays the translation-operator
+// precompute — the full cost of a plan-cache miss in fmmserve.
+
+func BenchmarkColdStartEvaluate_10k(b *testing.B) {
+	pts, den := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := New(Options{PointsPerBox: 50, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Evaluate(pts, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateReplan_10k(b *testing.B) {
+	f, err := New(Options{PointsPerBox: 50, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, den := benchPoints(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Evaluate(pts, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanApply_10k(b *testing.B) {
+	f, err := New(Options{PointsPerBox: 50, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, den := benchPoints(10000)
+	plan, err := f.Plan(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := plan.Apply(den); err != nil { // warm the lazy FFT spectra
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Apply(den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkOctreeBuild_50k(b *testing.B) {
 	pts := geom.Generate(geom.Ellipsoid, 50000, 1)
 	b.ResetTimer()

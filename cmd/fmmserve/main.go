@@ -1,0 +1,76 @@
+// Command fmmserve runs the FMM evaluation service: an HTTP/JSON server
+// with a plan cache (octree + interaction lists + operators reused across
+// requests), a bounded worker pool with admission-queue backpressure, and
+// Prometheus-style metrics.
+//
+//	fmmserve -addr :8344 -workers 8 -queue 128
+//
+//	curl -s localhost:8344/v1/plan -d '{"points":[[0.1,0.2,0.3],...]}'
+//	curl -s localhost:8344/v1/evaluate -d '{"plan_id":"...","densities":[...]}'
+//	curl -s localhost:8344/metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: admission stops, every admitted
+// request completes, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"kifmm/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8344", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation worker pool size")
+		queue      = flag.Int("queue", 64, "admission queue depth (beyond this, 429)")
+		cachePlans = flag.Int("cache-plans", 32, "plan cache entry bound")
+		cacheBytes = flag.Int64("cache-bytes", 1<<30, "plan cache resident-size bound")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		drainWait  = flag.Duration("drain", 2*time.Minute, "graceful shutdown drain limit")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheMaxPlans:  *cachePlans,
+		CacheMaxBytes:  *cacheBytes,
+		RequestTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("fmmserve listening on %s (workers=%d queue=%d cache=%d plans/%d bytes)",
+		*addr, *workers, *queue, *cachePlans, *cacheBytes)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (limit %v)...", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := svc.Shutdown(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("fmmserve stopped")
+}

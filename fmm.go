@@ -26,7 +26,6 @@ import (
 	"kifmm/internal/kernel"
 	ikifmm "kifmm/internal/kifmm"
 	"kifmm/internal/mpi"
-	"kifmm/internal/octree"
 	"kifmm/internal/parfmm"
 	"kifmm/internal/stream"
 )
@@ -73,8 +72,9 @@ type Options struct {
 	DenseM2L bool
 	// Workers bounds shared-memory parallelism inside each rank (default 1).
 	Workers int
-	// LoadBalance enables work-weighted repartitioning for distributed
-	// evaluation (default on when Ranks > 1).
+	// NoLoadBalance disables the work-weighted Morton repartitioning that
+	// distributed evaluation performs by default; set it to keep the initial
+	// equal-count point partition instead.
 	NoLoadBalance bool
 	// Accelerated routes the ULI/S2U/D2T/V-list phases through the
 	// simulated streaming device (single precision; Laplace only).
@@ -155,19 +155,26 @@ func (f *FMM) DensityDim() int { return f.kern.SrcDim() }
 // PotentialDim returns the number of potential components per point.
 func (f *FMM) PotentialDim() int { return f.kern.TrgDim() }
 
-func (f *FMM) checkInput(points []Point, densities []float64) error {
+func (f *FMM) checkPoints(points []Point) error {
 	if len(points) == 0 {
 		return fmt.Errorf("kifmm: no points")
-	}
-	if len(densities) != len(points)*f.kern.SrcDim() {
-		return fmt.Errorf("kifmm: %d densities for %d points (want %d per point)",
-			len(densities), len(points), f.kern.SrcDim())
 	}
 	cube := geom.UnitCube()
 	for i, p := range points {
 		if !cube.Contains(geom.Point(p)) {
 			return fmt.Errorf("kifmm: point %d (%v) outside the unit cube", i, p)
 		}
+	}
+	return nil
+}
+
+func (f *FMM) checkInput(points []Point, densities []float64) error {
+	if err := f.checkPoints(points); err != nil {
+		return err
+	}
+	if len(densities) != len(points)*f.kern.SrcDim() {
+		return fmt.Errorf("kifmm: %d densities for %d points (want %d per point)",
+			len(densities), len(points), f.kern.SrcDim())
 	}
 	return nil
 }
@@ -182,37 +189,18 @@ func toGeom(points []Point) []geom.Point {
 
 // Evaluate computes the potentials at all points (sources and targets
 // coincide), returned in input order with PotentialDim components per
-// point.
+// point. It is equivalent to Plan followed by a single Apply; callers that
+// re-evaluate the same point set with new densities should hold on to the
+// Plan instead.
 func (f *FMM) Evaluate(points []Point, densities []float64) ([]float64, error) {
 	if err := f.checkInput(points, densities); err != nil {
 		return nil, err
 	}
-	gpts := toGeom(points)
-	var tree *octree.Tree
-	if f.opt.Balanced {
-		tree = octree.BuildBalanced(gpts, f.opt.PointsPerBox, f.opt.MaxDepth)
-	} else {
-		tree = octree.Build(gpts, f.opt.PointsPerBox, f.opt.MaxDepth)
+	plan, err := f.Plan(points)
+	if err != nil {
+		return nil, err
 	}
-	tree.BuildLists(nil)
-	eng := ikifmm.NewEngine(f.ops, tree)
-	eng.UseFFTM2L = !f.opt.DenseM2L
-	eng.Workers = f.opt.Workers
-	eng.SetPointDensities(densities)
-	if f.opt.Accelerated {
-		accel := gpu.New(stream.NewDevice(stream.DefaultParams()))
-		accel.S2U(eng)
-		eng.U2U()
-		accel.VLI(eng)
-		eng.XLI()
-		eng.Downward()
-		eng.WLI()
-		accel.D2T(eng)
-		accel.ULI(eng)
-	} else {
-		eng.Evaluate()
-	}
-	return eng.PointPotentials(), nil
+	return plan.Apply(densities)
 }
 
 // EvaluateDistributed computes the same sum using ranks in-process

@@ -1,8 +1,10 @@
 package kifmm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -241,6 +243,168 @@ func TestEvaluateAtValidation(t *testing.T) {
 	}
 	if _, err := f.EvaluateAt([]Point{{2, 0, 0}}, srcs, den); err == nil {
 		t.Fatalf("out-of-cube target accepted")
+	}
+}
+
+func TestOptionAndInputValidation(t *testing.T) {
+	// Every rejection path of New and Evaluate, table-driven.
+	newCases := []struct {
+		name string
+		opt  Options
+	}{
+		{"unknown kernel", Options{Kernel: "helmholtz"}},
+		{"negative yukawa lambda", Options{Kernel: Yukawa, YukawaLambda: -2}},
+		{"accelerated stokes", Options{Kernel: Stokes, Accelerated: true}},
+		{"accelerated yukawa", Options{Kernel: Yukawa, Accelerated: true}},
+		{"order too low", Options{Order: 1}},
+		{"excessive depth", Options{MaxDepth: 99}},
+	}
+	for _, c := range newCases {
+		if _, err := New(c.opt); err == nil {
+			t.Errorf("New accepted %s", c.name)
+		}
+	}
+
+	f, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []Point{{0.5, 0.5, 0.5}}
+	evalCases := []struct {
+		name string
+		pts  []Point
+		den  []float64
+	}{
+		{"no points", nil, nil},
+		{"density length mismatch", in, []float64{1, 2}},
+		{"point outside unit cube", []Point{{1.5, 0.5, 0.5}}, []float64{1}},
+		{"negative coordinate", []Point{{-0.1, 0.5, 0.5}}, []float64{1}},
+	}
+	for _, c := range evalCases {
+		if _, err := f.Evaluate(c.pts, c.den); err == nil {
+			t.Errorf("Evaluate accepted %s", c.name)
+		}
+	}
+	// A positive lambda stays valid (the default is applied at zero).
+	if _, err := New(Options{Kernel: Yukawa, YukawaLambda: 3}); err != nil {
+		t.Errorf("valid yukawa rejected: %v", err)
+	}
+}
+
+func TestPlanApplyMatchesEvaluate(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(800, 1, 61)
+	plan, err := f.Plan(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPoints() != 800 {
+		t.Fatalf("NumPoints = %d", plan.NumPoints())
+	}
+	if plan.MemoryBytes() <= 0 {
+		t.Fatalf("MemoryBytes = %d", plan.MemoryBytes())
+	}
+	want, err := f.Evaluate(pts, den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Apply(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(got, want); e > 1e-12 {
+		t.Fatalf("plan vs evaluate differ by %g", e)
+	}
+	// Repeat applies with fresh densities must not carry state over.
+	_, den2 := randInput(800, 1, 62)
+	got2, err := plan.Apply(den2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, _ := f.Evaluate(pts, den2)
+	if e := relErr(got2, want2); e > 1e-12 {
+		t.Fatalf("second apply differs by %g", e)
+	}
+	if plan.Evaluations() != 2 {
+		t.Fatalf("Evaluations = %d", plan.Evaluations())
+	}
+}
+
+func TestPlanApplyConcurrent(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 25, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(500, 1, 63)
+	plan, err := f.Plan(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Apply(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got, err := plan.Apply(den)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if e := relErr(got, want); e > 1e-12 {
+				errs[g] = fmt.Errorf("goroutine %d differs by %g", g, e)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	f, _ := New(Options{})
+	if _, err := f.Plan(nil); err == nil {
+		t.Fatalf("empty point set accepted")
+	}
+	if _, err := f.Plan([]Point{{3, 0, 0}}); err == nil {
+		t.Fatalf("out-of-cube point accepted")
+	}
+	plan, err := f.Plan([]Point{{0.5, 0.5, 0.5}, {0.25, 0.75, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Apply([]float64{1}); err == nil {
+		t.Fatalf("density length mismatch accepted")
+	}
+}
+
+func TestPlanAccelerated(t *testing.T) {
+	f, err := New(Options{Accelerated: true, PointsPerBox: 60, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(800, 1, 64)
+	plan, err := f.Plan(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.Apply(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f.Direct(pts, den)
+	if e := relErr(got, want); e > 5e-4 {
+		t.Fatalf("accelerated plan rel err %g", e)
 	}
 }
 

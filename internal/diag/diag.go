@@ -6,6 +6,7 @@ package diag
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -176,6 +177,57 @@ func FormatTable(rows []Row) string {
 			r.Event, r.MaxTime.Seconds(), r.AvgTime.Seconds(), float64(r.MaxFlops), r.AvgFlops)
 	}
 	return b.String()
+}
+
+// PhaseStat is one phase's accumulated totals in machine-readable form.
+type PhaseStat struct {
+	Seconds float64 `json:"seconds"`
+	Flops   int64   `json:"flops,omitempty"`
+}
+
+// Snapshot returns a point-in-time copy of every phase's totals, keyed by
+// phase name — the export consumed by the serving layer's /metrics endpoint
+// (FormatTable renders the same data for humans).
+func (p *Profile) Snapshot() map[string]PhaseStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PhaseStat, len(p.times)+len(p.flops))
+	for k, v := range p.times {
+		s := out[k]
+		s.Seconds = v.Seconds()
+		out[k] = s
+	}
+	for k, v := range p.flops {
+		s := out[k]
+		s.Flops = v
+		out[k] = s
+	}
+	return out
+}
+
+// WriteMetrics renders the profile in the Prometheus text exposition format
+// with the given metric name prefix, e.g.
+//
+//	kifmm_phase_seconds_total{phase="U-list"} 1.234e-02
+//
+// Phases are emitted in sorted order so the output is deterministic.
+func (p *Profile) WriteMetrics(w io.Writer, prefix string) {
+	snap := p.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# TYPE %s_phase_seconds_total counter\n", prefix)
+	for _, k := range names {
+		fmt.Fprintf(w, "%s_phase_seconds_total{phase=%q} %.6e\n", prefix, k, snap[k].Seconds)
+	}
+	fmt.Fprintf(w, "# TYPE %s_phase_flops_total counter\n", prefix)
+	for _, k := range names {
+		if snap[k].Flops != 0 {
+			fmt.Fprintf(w, "%s_phase_flops_total{phase=%q} %d\n", prefix, k, snap[k].Flops)
+		}
+	}
 }
 
 // FlopsPerRank extracts each rank's flops for one phase (Figure 5's

@@ -95,6 +95,52 @@ func TestFormatTableIncludesRows(t *testing.T) {
 	}
 }
 
+func TestSnapshotExportsAllPhases(t *testing.T) {
+	p := NewProfile()
+	p.AddTime("U-list", 1500*time.Millisecond)
+	p.AddFlops("U-list", 42)
+	p.AddFlops("flops-only", 7)
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if s := snap["U-list"]; s.Seconds != 1.5 || s.Flops != 42 {
+		t.Fatalf("U-list stat = %+v", s)
+	}
+	if s := snap["flops-only"]; s.Seconds != 0 || s.Flops != 7 {
+		t.Fatalf("flops-only stat = %+v", s)
+	}
+	// The snapshot is a copy: later accumulation must not leak in.
+	p.AddTime("U-list", time.Second)
+	if snap["U-list"].Seconds != 1.5 {
+		t.Fatalf("snapshot aliased live state")
+	}
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	p := NewProfile()
+	p.AddTime("Apply", 250*time.Millisecond)
+	p.AddTime("U-list", time.Second)
+	p.AddFlops("U-list", 99)
+	var b strings.Builder
+	p.WriteMetrics(&b, "kifmm")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE kifmm_phase_seconds_total counter",
+		`kifmm_phase_seconds_total{phase="Apply"} 2.500000e-01`,
+		`kifmm_phase_seconds_total{phase="U-list"} 1.000000e+00`,
+		`kifmm_phase_flops_total{phase="U-list"} 99`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: Apply sorts before U-list.
+	if strings.Index(out, `phase="Apply"`) > strings.Index(out, `phase="U-list"`) {
+		t.Fatalf("phases not sorted:\n%s", out)
+	}
+}
+
 func TestFlopsPerRank(t *testing.T) {
 	ps := []*Profile{NewProfile(), NewProfile(), NewProfile()}
 	for i, p := range ps {

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentLoadWarmVsCold is the acceptance load test: ≥8 concurrent
+// clients against an httptest server, demonstrating that warm plan-cache
+// evaluations are ≥3× faster end-to-end than cold plan-building requests on
+// the same point set. Cold requests use NoCache so every one pays the full
+// setup phase (operator precompute + octree + interaction lists); warm
+// requests share the one cached plan. Order-6 operators make the setup
+// phase expensive, as in production configurations.
+func TestConcurrentLoadWarmVsCold(t *testing.T) {
+	const clients = 8
+	s := New(Config{Workers: 4, QueueDepth: 64, RequestTimeout: 5 * time.Minute})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(1500, 7)
+	opts := SolverOptions{Kernel: "laplace", Order: 6, PointsPerBox: 50, Workers: 1}
+
+	run := func(req EvaluateRequest) time.Duration {
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var ev EvaluateResponse
+				code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate", req, &ev)
+				if code != http.StatusOK {
+					t.Errorf("evaluate: %d %s", code, raw)
+					return
+				}
+				if len(ev.Potentials) != len(pts) {
+					t.Errorf("short result: %d", len(ev.Potentials))
+				}
+			}()
+		}
+		wg.Wait()
+		return time.Since(t0)
+	}
+
+	// Cold: every request plans from scratch (cache bypassed).
+	cold := run(EvaluateRequest{Points: pts, Options: opts, Densities: den, NoCache: true})
+
+	// Warm up the cache and the lazily built FFT translation spectra, then
+	// time steady-state warm traffic.
+	var plan PlanResponse
+	if code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/plan", PlanRequest{Points: pts, Options: opts}, &plan); code != http.StatusOK {
+		t.Fatalf("plan: %d %s", code, raw)
+	}
+	warmReq := EvaluateRequest{PlanID: plan.PlanID, Densities: den}
+	run(warmReq)
+	warm := run(warmReq)
+
+	t.Logf("cold %v, warm %v (%.1fx) for %d clients", cold, warm, float64(cold)/float64(warm), clients)
+	if cold < 3*warm {
+		t.Fatalf("warm path not ≥3x faster: cold %v vs warm %v", cold, warm)
+	}
+}
+
+// TestBackpressureQueueFull verifies explicit rejection instead of
+// unbounded blocking: with one worker and a one-slot queue, a burst of
+// concurrent requests must see 429s carrying Retry-After, and the rejected
+// requests must return promptly while admitted ones complete.
+func TestBackpressureQueueFull(t *testing.T) {
+	const clients = 8
+	s := New(Config{Workers: 1, QueueDepth: 1, RequestTimeout: 5 * time.Minute, RetryAfter: 2 * time.Second})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(800, 8)
+	opts := SolverOptions{Kernel: "laplace", Order: 6, PointsPerBox: 50, Workers: 1}
+
+	var (
+		mu        sync.Mutex
+		rejected  int
+		accepted  int
+		slowestRj time.Duration
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			body, _ := jsonBody(EvaluateRequest{Points: pts, Options: opts, Densities: den, NoCache: true})
+			resp, err := ts.Client().Post(ts.URL+"/v1/evaluate", "application/json", body)
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			el := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				accepted++
+			case http.StatusTooManyRequests:
+				rejected++
+				if resp.Header.Get("Retry-After") != "2" {
+					t.Errorf("429 without Retry-After hint: %q", resp.Header.Get("Retry-After"))
+				}
+				if el > slowestRj {
+					slowestRj = el
+				}
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if rejected == 0 {
+		t.Fatalf("no 429s from %d clients against a 1-worker/1-slot server (accepted %d)", clients, accepted)
+	}
+	if accepted == 0 || accepted > 2 {
+		t.Fatalf("admitted %d requests, capacity is 2", accepted)
+	}
+	// Rejection is backpressure, not blocking: a 429 must not wait for the
+	// multi-hundred-ms evaluations ahead of it.
+	if slowestRj > 2*time.Second {
+		t.Fatalf("rejected request blocked for %v", slowestRj)
+	}
+}
+
+// TestGracefulShutdownDrains verifies that Shutdown completes every
+// admitted request and rejects late arrivals.
+func TestGracefulShutdownDrains(t *testing.T) {
+	const clients = 8
+	s := New(Config{Workers: 2, QueueDepth: 16, RequestTimeout: 5 * time.Minute})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(600, 9)
+	opts := SolverOptions{Kernel: "laplace", Order: 4, PointsPerBox: 50, Workers: 1}
+
+	codes := make([]int, clients)
+	lengths := make([]int, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var ev EvaluateResponse
+			codes[c], _ = postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+				EvaluateRequest{Points: pts, Options: opts, Densities: den, NoCache: true}, &ev)
+			lengths[c] = len(ev.Potentials)
+		}(c)
+	}
+
+	// Let the burst reach the admission queue, then drain.
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	wg.Wait()
+
+	admitted := 0
+	for c := 0; c < clients; c++ {
+		switch codes[c] {
+		case http.StatusOK:
+			admitted++
+			if lengths[c] != len(pts) {
+				t.Errorf("client %d: admitted but got %d potentials", c, lengths[c])
+			}
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			// Arrived after drain began or over queue capacity — rejected
+			// explicitly, never abandoned.
+		default:
+			t.Errorf("client %d: status %d", c, codes[c])
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no request was admitted before shutdown")
+	}
+	// After the drain, new work is refused.
+	code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+		EvaluateRequest{Points: pts, Options: opts, Densities: den}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request answered %d", code)
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrPoolClosed is returned by Submit after Close has begun; the HTTP layer
+// maps it to 503 during graceful shutdown.
+var ErrPoolClosed = errors.New("service: pool closed")
+
+// Task is one admitted unit of work. The submitter waits on Done; the
+// worker closes it after running (or skipping) the task.
+type Task struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+	// skipped records that the task's context expired before a worker
+	// reached it, so fn never ran.
+	skipped bool
+}
+
+// Done is closed when the task has run (or been skipped); check Skipped
+// after it closes.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Skipped reports whether the task was dropped because its context expired
+// while queued. Only valid after Done is closed.
+func (t *Task) Skipped() bool { return t.skipped }
+
+// PoolStats is a point-in-time view of the pool gauges for /metrics.
+type PoolStats struct {
+	Workers   int
+	QueueCap  int
+	Queued    int
+	Busy      int64
+	Completed int64
+	Rejected  int64
+	Expired   int64
+}
+
+// Pool runs tasks on a fixed set of workers behind a bounded admission
+// queue. Submit never blocks: a full queue is an explicit rejection
+// (backpressure), not an unbounded wait. Close drains every admitted task
+// before returning, which is what makes the server's shutdown graceful.
+type Pool struct {
+	mu     sync.Mutex
+	queue  chan *Task
+	closed bool
+	wg     sync.WaitGroup
+
+	workers   int
+	busy      atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	expired   atomic.Int64
+}
+
+// NewPool starts workers goroutines consuming a queue of the given depth.
+func NewPool(workers, depth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pool{queue: make(chan *Task, depth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		if t.ctx.Err() != nil {
+			t.skipped = true
+			p.expired.Add(1)
+			close(t.done)
+			continue
+		}
+		p.busy.Add(1)
+		t.fn()
+		p.busy.Add(-1)
+		p.completed.Add(1)
+		close(t.done)
+	}
+}
+
+// Submit enqueues fn for execution under ctx. It returns immediately:
+// ErrQueueFull if the queue is at capacity, ErrPoolClosed after Close. On
+// success the caller waits on the returned task's Done channel (fn's
+// results travel through the closure).
+func (p *Pool) Submit(ctx context.Context, fn func()) (*Task, error) {
+	t := &Task{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.rejected.Add(1)
+		return nil, ErrPoolClosed
+	}
+	select {
+	case p.queue <- t:
+		return t, nil
+	default:
+		p.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops admission and blocks until every already-admitted task has
+// run to completion (or been skipped on an expired context). It is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns the current gauges and counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		QueueCap:  cap(p.queue),
+		Queued:    len(p.queue),
+		Busy:      p.busy.Load(),
+		Completed: p.completed.Load(),
+		Rejected:  p.rejected.Load(),
+		Expired:   p.expired.Load(),
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var n atomic.Int64
+	tasks := make([]*Task, 0, 4)
+	for i := 0; i < 4; i++ {
+		task, err := p.Submit(context.Background(), func() { n.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	for _, task := range tasks {
+		<-task.Done()
+		if task.Skipped() {
+			t.Fatal("task skipped unexpectedly")
+		}
+	}
+	if n.Load() != 4 {
+		t.Fatalf("ran %d tasks", n.Load())
+	}
+}
+
+func TestPoolQueueFullRejects(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := p.Submit(context.Background(), func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue empty
+	if _, err := p.Submit(context.Background(), func() {}); err != nil {
+		t.Fatalf("queued submit should succeed: %v", err)
+	}
+	if _, err := p.Submit(context.Background(), func() {}); err != ErrQueueFull {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	st := p.Stats()
+	if st.Rejected != 1 || st.Queued != 1 || st.Busy != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	close(block)
+}
+
+func TestPoolSkipsExpiredQueuedTasks(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(context.Background(), func() { close(started); <-block })
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	task, err := p.Submit(ctx, func() { t.Error("expired task must not run") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(block)
+	<-task.Done()
+	if !task.Skipped() {
+		t.Fatal("task should have been skipped")
+	}
+	if st := p.Stats(); st.Expired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolCloseDrainsAdmitted(t *testing.T) {
+	p := NewPool(2, 16)
+	var n atomic.Int64
+	for i := 0; i < 10; i++ {
+		if _, err := p.Submit(context.Background(), func() {
+			time.Sleep(5 * time.Millisecond)
+			n.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // must block until all 10 ran
+	if n.Load() != 10 {
+		t.Fatalf("drain incomplete: %d/10", n.Load())
+	}
+	if _, err := p.Submit(context.Background(), func() {}); err != ErrPoolClosed {
+		t.Fatalf("want ErrPoolClosed, got %v", err)
+	}
+	p.Close() // idempotent
+}

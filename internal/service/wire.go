@@ -1,0 +1,158 @@
+// Package service implements fmmserve, a long-lived HTTP/JSON evaluation
+// server over the public kifmm API. It splits every evaluation into the
+// paper's setup/evaluation phases: plan construction (octree, interaction
+// lists, translation operators) is cached in a bounded LRU keyed by a
+// content hash of the point set and solver options, and the density-
+// dependent Apply runs on a bounded worker pool with an admission queue,
+// per-request deadlines, and explicit backpressure. This is the serving
+// substrate for iterative-solver clients (e.g. GMRES over a Stokes boundary
+// integral), which re-evaluate one geometry with many density vectors.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"kifmm"
+)
+
+// SolverOptions is the wire form of kifmm.Options (the subset that is
+// meaningful per-request; distributed-evaluation knobs are not served).
+type SolverOptions struct {
+	Kernel       string  `json:"kernel,omitempty"`
+	PointsPerBox int     `json:"points_per_box,omitempty"`
+	Order        int     `json:"order,omitempty"`
+	Tolerance    float64 `json:"tolerance,omitempty"`
+	MaxDepth     int     `json:"max_depth,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	DenseM2L     bool    `json:"dense_m2l,omitempty"`
+	Balanced     bool    `json:"balanced,omitempty"`
+	Accelerated  bool    `json:"accelerated,omitempty"`
+	YukawaLambda float64 `json:"yukawa_lambda,omitempty"`
+}
+
+// ToOptions maps the wire form onto kifmm.Options; zero values keep the
+// library defaults.
+func (o SolverOptions) ToOptions() kifmm.Options {
+	return kifmm.Options{
+		Kernel:       kifmm.KernelName(o.Kernel),
+		PointsPerBox: o.PointsPerBox,
+		Order:        o.Order,
+		Tolerance:    o.Tolerance,
+		MaxDepth:     o.MaxDepth,
+		Workers:      o.Workers,
+		DenseM2L:     o.DenseM2L,
+		Balanced:     o.Balanced,
+		Accelerated:  o.Accelerated,
+		YukawaLambda: o.YukawaLambda,
+	}
+}
+
+// PlanRequest builds (or looks up) a cached plan for a point set.
+type PlanRequest struct {
+	// Points are unit-cube locations, one [x,y,z] triple per point.
+	Points [][3]float64 `json:"points"`
+	// Options configure the solver the plan is bound to.
+	Options SolverOptions `json:"options"`
+}
+
+// PlanResponse identifies the cached plan.
+type PlanResponse struct {
+	PlanID       string `json:"plan_id"`
+	NumPoints    int    `json:"num_points"`
+	DensityDim   int    `json:"density_dim"`
+	PotentialDim int    `json:"potential_dim"`
+	// Cached reports whether the plan was already resident (a cache hit).
+	Cached bool `json:"cached"`
+	// MemoryBytes is the plan's estimated resident size.
+	MemoryBytes int64 `json:"memory_bytes"`
+}
+
+// EvaluateRequest evaluates densities against a plan, addressed either by
+// PlanID (from a prior /v1/plan call) or by inline Points (+Options), which
+// are planned on the fly and cached unless NoCache is set.
+type EvaluateRequest struct {
+	PlanID    string        `json:"plan_id,omitempty"`
+	Points    [][3]float64  `json:"points,omitempty"`
+	Options   SolverOptions `json:"options,omitempty"`
+	Densities []float64     `json:"densities"`
+	// NoCache plans inline points without consulting or populating the plan
+	// cache (one-shot workloads).
+	NoCache bool `json:"no_cache,omitempty"`
+	// TimeoutMS optionally tightens the server's per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// EvaluateResponse carries the potentials in input point order.
+type EvaluateResponse struct {
+	PlanID     string    `json:"plan_id"`
+	Potentials []float64 `json:"potentials"`
+	// CacheHit reports whether the evaluation reused a resident plan.
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedMS is the server-side service time (queue wait excluded).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+}
+
+// PlanKey returns the plan-cache key: a SHA-256 content hash over a
+// canonical binary encoding of the solver options and the point set, so
+// identical geometry+configuration from different clients share one plan.
+func PlanKey(points [][3]float64, o SolverOptions) string {
+	h := sha256.New()
+	h.Write([]byte(o.Kernel))
+	h.Write([]byte{0})
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wf := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	wb := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	wi(int64(o.PointsPerBox))
+	wi(int64(o.Order))
+	wf(o.Tolerance)
+	wi(int64(o.MaxDepth))
+	wi(int64(o.Workers))
+	wb(o.DenseM2L)
+	wb(o.Balanced)
+	wb(o.Accelerated)
+	wf(o.YukawaLambda)
+	wi(int64(len(points)))
+	for _, p := range points {
+		wf(p[0])
+		wf(p[1])
+		wf(p[2])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ToPoints converts wire triples to kifmm points.
+func ToPoints(pts [][3]float64) []kifmm.Point {
+	out := make([]kifmm.Point, len(pts))
+	for i, p := range pts {
+		out[i] = kifmm.Point{X: p[0], Y: p[1], Z: p[2]}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package kifmm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/gpu"
+	ikifmm "kifmm/internal/kifmm"
+	"kifmm/internal/octree"
+	"kifmm/internal/stream"
+)
+
+// Plan is the reusable half of an evaluation: the octree, interaction lists,
+// and translation operators built for one point set. Building a plan is the
+// expensive, density-independent part of Evaluate; Apply runs the cheap,
+// density-dependent part. Iterative solvers (e.g. GMRES over a Stokes
+// boundary integral, the paper's motivating use) call Plan once per geometry
+// and Apply once per iteration.
+//
+// A Plan is safe for concurrent use: each Apply checks out a private engine
+// (per-call evaluation state) from an internal free list, so concurrent
+// Apply calls proceed in parallel and reuse the shared tree and operators.
+type Plan struct {
+	f    *FMM
+	tree *octree.Tree
+	n    int
+
+	mu   sync.Mutex
+	free []*ikifmm.Engine
+	prof *diag.Profile
+
+	evals atomic.Int64
+}
+
+// maxFreeEngines caps the per-plan engine free list; engines beyond the cap
+// are dropped for the GC after bursts of concurrency.
+const maxFreeEngines = 8
+
+// Plan builds the octree, interaction lists, and evaluation state for the
+// point set and returns a Plan for repeated evaluations. The returned plan
+// is bound to this solver's kernel and options.
+func (f *FMM) Plan(points []Point) (*Plan, error) {
+	if err := f.checkPoints(points); err != nil {
+		return nil, err
+	}
+	gpts := toGeom(points)
+	var tree *octree.Tree
+	if f.opt.Balanced {
+		tree = octree.BuildBalanced(gpts, f.opt.PointsPerBox, f.opt.MaxDepth)
+	} else {
+		tree = octree.Build(gpts, f.opt.PointsPerBox, f.opt.MaxDepth)
+	}
+	tree.BuildLists(nil)
+	return &Plan{f: f, tree: tree, n: len(points)}, nil
+}
+
+// NumPoints returns the number of points the plan was built for.
+func (p *Plan) NumPoints() int { return p.n }
+
+// Evaluations returns how many Apply calls have completed.
+func (p *Plan) Evaluations() int64 { return p.evals.Load() }
+
+// SetProfile attaches a diag profile that receives per-phase timings and
+// flop counts from subsequent Apply calls (nil detaches). Used by the
+// serving layer to aggregate phase metrics across requests.
+func (p *Plan) SetProfile(prof *diag.Profile) {
+	p.mu.Lock()
+	p.prof = prof
+	p.mu.Unlock()
+}
+
+// MemoryBytes estimates the plan's resident size: tree points and
+// interaction lists plus one engine's per-node and per-point state. The
+// serving layer uses it for cache accounting.
+func (p *Plan) MemoryBytes() int64 {
+	ops := p.f.ops
+	var lists int64
+	for i := range p.tree.Nodes {
+		n := &p.tree.Nodes[i]
+		lists += int64(len(n.U)+len(n.V)+len(n.W)+len(n.X)) * 4
+	}
+	nodes := int64(len(p.tree.Nodes))
+	pts := int64(len(p.tree.Points))
+	const nodeStruct = 120 // Node fixed fields, approximate
+	engine := nodes*int64(2*ops.UpwardLen()+ops.CheckLen())*8 +
+		pts*int64(p.f.kern.SrcDim()+p.f.kern.TrgDim())*8
+	return nodes*nodeStruct + lists + pts*(24+8) + engine
+}
+
+// getEngine checks out a reset engine bound to the plan's tree.
+func (p *Plan) getEngine() *ikifmm.Engine {
+	p.mu.Lock()
+	var eng *ikifmm.Engine
+	if n := len(p.free); n > 0 {
+		eng = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	prof := p.prof
+	p.mu.Unlock()
+	if eng == nil {
+		eng = ikifmm.NewEngine(p.f.ops, p.tree)
+		eng.UseFFTM2L = !p.f.opt.DenseM2L
+		eng.Workers = p.f.opt.Workers
+	} else {
+		eng.Reset()
+	}
+	eng.Prof = prof
+	return eng
+}
+
+func (p *Plan) putEngine(eng *ikifmm.Engine) {
+	p.mu.Lock()
+	if len(p.free) < maxFreeEngines {
+		p.free = append(p.free, eng)
+	}
+	p.mu.Unlock()
+}
+
+// Apply evaluates the potentials for one density vector on the prebuilt
+// tree, returned in input point order with PotentialDim components per
+// point. It runs the full FMM phase sequence but skips tree construction,
+// list building, and operator setup.
+func (p *Plan) Apply(densities []float64) ([]float64, error) {
+	if len(densities) != p.n*p.f.kern.SrcDim() {
+		return nil, fmt.Errorf("kifmm: %d densities for %d points (want %d per point)",
+			len(densities), p.n, p.f.kern.SrcDim())
+	}
+	eng := p.getEngine()
+	eng.SetPointDensities(densities)
+	if p.f.opt.Accelerated {
+		accel := gpu.New(stream.NewDevice(stream.DefaultParams()))
+		accel.S2U(eng)
+		eng.U2U()
+		accel.VLI(eng)
+		eng.XLI()
+		eng.Downward()
+		eng.WLI()
+		accel.D2T(eng)
+		accel.ULI(eng)
+	} else {
+		eng.Evaluate()
+	}
+	out := eng.PointPotentials()
+	p.putEngine(eng)
+	p.evals.Add(1)
+	return out, nil
+}
