@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench sched-stress ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
-ci: build vet race
+# Repeated race runs of the work-stealing scheduler (randomized-DAG
+# property tests are seeded per run, so -count=5 explores new graphs).
+sched-stress:
+	$(GO) test -race -count=5 ./internal/sched/...
+
+ci: build vet race sched-stress

@@ -11,6 +11,7 @@ package kifmm
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"kifmm/internal/experiments"
@@ -218,6 +219,46 @@ func BenchmarkPlanApply_10k(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkApplyBarrier / BenchmarkApplyDAG compare the two execution
+// strategies for the density-dependent phases on the paper's nonuniform
+// ellipsoid distribution (deep adaptive tree, unbalanced per-level work —
+// the case where global phase barriers hurt most). Both reuse one plan and
+// produce bit-identical potentials; see TestExecModesBitIdentical.
+
+func benchmarkApplyExec(b *testing.B, mode ExecMode) {
+	f, err := New(Options{PointsPerBox: 50, Workers: runtime.GOMAXPROCS(0), Exec: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gp := geom.Generate(geom.Ellipsoid, 30000, 7)
+	pts := make([]Point, len(gp))
+	for i, p := range gp {
+		pts[i] = Point{p.X, p.Y, p.Z}
+	}
+	rng := rand.New(rand.NewSource(8))
+	den := make([]float64, len(pts))
+	for i := range den {
+		den[i] = rng.NormFloat64()
+	}
+	plan, err := f.Plan(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := plan.Apply(den); err != nil { // warm the lazy FFT spectra
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Apply(den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyBarrier(b *testing.B) { benchmarkApplyExec(b, ExecBarrier) }
+
+func BenchmarkApplyDAG(b *testing.B) { benchmarkApplyExec(b, ExecDAG) }
 
 func BenchmarkOctreeBuild_50k(b *testing.B) {
 	pts := geom.Generate(geom.Ellipsoid, 50000, 1)

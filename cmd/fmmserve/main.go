@@ -9,6 +9,16 @@
 //	curl -s localhost:8344/v1/evaluate -d '{"plan_id":"...","densities":[...]}'
 //	curl -s localhost:8344/metrics
 //
+// With -trace-dir set, every evaluation additionally dumps a Chrome
+// trace_event JSON of the task-graph scheduler's execution (one timeline
+// row per worker, one slice per per-octant task) into the directory,
+// keeping the newest -trace-keep files (oldest deleted). To inspect one,
+// open chrome://tracing in Chrome (or https://ui.perfetto.dev) and load
+// eval-NNNNNN.trace.json — phase overlap, work stealing, and idle gaps are
+// directly visible.
+//
+//	fmmserve -addr :8344 -trace-dir /tmp/fmm-traces -trace-keep 16
+//
 // SIGINT/SIGTERM triggers a graceful drain: admission stops, every admitted
 // request completes, then the listener closes.
 package main
@@ -37,6 +47,8 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 1<<30, "plan cache resident-size bound")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		drainWait  = flag.Duration("drain", 2*time.Minute, "graceful shutdown drain limit")
+		traceDir   = flag.String("trace-dir", "", "dump a Chrome trace JSON per evaluation into this directory (see chrome://tracing)")
+		traceKeep  = flag.Int("trace-keep", 32, "trace files retained in -trace-dir (oldest deleted)")
 	)
 	flag.Parse()
 
@@ -46,6 +58,8 @@ func main() {
 		CacheMaxPlans:  *cachePlans,
 		CacheMaxBytes:  *cacheBytes,
 		RequestTimeout: *timeout,
+		TraceDir:       *traceDir,
+		TraceKeep:      *traceKeep,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

@@ -1,0 +1,166 @@
+package kifmm
+
+import (
+	"encoding/json"
+	"testing"
+
+	"kifmm/internal/geom"
+)
+
+// ellipsoidInput samples the paper's 1:1:4 ellipsoid surface (the
+// distribution that drives deep adaptive refinement) and pairs it with
+// Gaussian densities.
+func ellipsoidInput(n, sdim int, seed int64) ([]Point, []float64) {
+	gp := geom.Generate(geom.Ellipsoid, n, seed)
+	pts := make([]Point, len(gp))
+	for i, p := range gp {
+		pts[i] = Point{p.X, p.Y, p.Z}
+	}
+	_, den := randInput(n, sdim, seed+1)
+	return pts, den
+}
+
+// TestExecModesBitIdentical is the public-API differential test for the
+// task-graph execution path: for every kernel and both particle
+// distributions, Plan.Apply under ExecDAG must be bit-identical (exact
+// float64 equality, not tolerance) to ExecBarrier, because the DAG's
+// dependency edges reproduce the barrier path's accumulation order.
+func TestExecModesBitIdentical(t *testing.T) {
+	cases := []struct {
+		name      string
+		kernel    KernelName
+		ellipsoid bool
+		dense     bool
+	}{
+		{"laplace-uniform-fft", Laplace, false, false},
+		{"laplace-ellipsoid-dense", Laplace, true, true},
+		{"stokes-ellipsoid-fft", Stokes, true, false},
+		{"yukawa-uniform-dense", Yukawa, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newPlan := func(mode ExecMode) (*Plan, []Point, []float64) {
+				opt := Options{
+					Kernel:       tc.kernel,
+					PointsPerBox: 40,
+					Workers:      4,
+					DenseM2L:     tc.dense,
+					Exec:         mode,
+				}
+				if tc.kernel == Yukawa {
+					opt.YukawaLambda = 1.5
+				}
+				f, err := New(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pts []Point
+				var den []float64
+				if tc.ellipsoid {
+					pts, den = ellipsoidInput(1500, f.DensityDim(), 11)
+				} else {
+					pts, den = randInput(1500, f.DensityDim(), 11)
+				}
+				p, err := f.Plan(pts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p, pts, den
+			}
+
+			pb, _, den := newPlan(ExecBarrier)
+			want, err := pb.Apply(den)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pd, _, _ := newPlan(ExecDAG)
+			got, err := pd.Apply(den)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("length mismatch: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("potential[%d]: dag %v != barrier %v (diff %g)",
+						i, got[i], want[i], got[i]-want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestExecModeSharedPlan checks that a DAG plan is deterministic across
+// repeated Apply calls and across Apply/ApplyTraced, and that the trace
+// document is well-formed Chrome trace_event JSON.
+func TestExecModeSharedPlan(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 40, Workers: 4, Exec: ExecDAG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := ellipsoidInput(1200, 1, 3)
+	p, err := f.Plan(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Apply(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, tr, err := p.ApplyTraced(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ApplyTraced diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Name == "" {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+}
+
+// TestExecValidation covers the Options.Exec plumbing edges.
+func TestExecValidation(t *testing.T) {
+	if _, err := New(Options{Exec: ExecMode(99)}); err == nil {
+		t.Fatal("invalid exec mode accepted")
+	}
+	if _, err := New(Options{Exec: ExecMode(-1)}); err == nil {
+		t.Fatal("negative exec mode accepted")
+	}
+	// ApplyTraced is CPU-scheduler-only: the accelerated path must refuse.
+	f, err := New(Options{Accelerated: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(400, f.DensityDim(), 5)
+	p, err := f.Plan(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.ApplyTraced(den); err == nil {
+		t.Fatal("ApplyTraced on accelerated plan accepted")
+	}
+	// ...but plain Apply still works (barrier path).
+	if _, err := p.Apply(den); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,6 +39,26 @@ type Point struct {
 // KernelName selects the interaction kernel.
 type KernelName string
 
+// ExecMode selects how Evaluate and Plan.Apply execute the density-dependent
+// FMM phases within one process.
+type ExecMode int
+
+const (
+	// ExecAuto (the default) runs the task-graph scheduler when Workers > 1
+	// and the bulk-synchronous barrier path otherwise (a single worker gains
+	// nothing from dependency-driven execution).
+	ExecAuto ExecMode = iota
+	// ExecBarrier forces the paper's bulk-synchronous phase sequence:
+	// eight parallel loops separated by global barriers. Kept as the
+	// fallback and as the oracle the task-graph path is differentially
+	// tested against.
+	ExecBarrier
+	// ExecDAG forces the dependency task-graph runtime (internal/sched):
+	// per-octant tasks gated on the octants they read, work-stealing
+	// workers, no phase barriers. Bit-identical to ExecBarrier.
+	ExecDAG
+)
+
 const (
 	// Laplace is the single-layer Laplace kernel 1/(4π‖x−y‖): one density
 	// and one potential component per point (electrostatics, gravitation).
@@ -86,6 +106,11 @@ type Options struct {
 	// evaluation only): adjacent leaves differ by at most one level, which
 	// regularizes the interaction lists at the cost of extra octants.
 	Balanced bool
+	// Exec selects barrier vs task-graph execution of the evaluation
+	// phases (sequential/Plan evaluation only; the distributed and
+	// device-accelerated drivers schedule phases themselves). The default
+	// ExecAuto uses the task graph whenever Workers > 1.
+	Exec ExecMode
 }
 
 func (o Options) kernel() (kernel.Kernel, error) {
@@ -139,6 +164,9 @@ func New(opt Options) (*FMM, error) {
 	if opt.PointsPerBox < 1 || opt.Order < 2 || opt.MaxDepth < 1 || opt.MaxDepth > 30 {
 		return nil, fmt.Errorf("kifmm: invalid options %+v", opt)
 	}
+	if opt.Exec < ExecAuto || opt.Exec > ExecDAG {
+		return nil, fmt.Errorf("kifmm: invalid exec mode %d", opt.Exec)
+	}
 	k, err := opt.kernel()
 	if err != nil {
 		return nil, err
@@ -154,6 +182,15 @@ func (f *FMM) DensityDim() int { return f.kern.SrcDim() }
 
 // PotentialDim returns the number of potential components per point.
 func (f *FMM) PotentialDim() int { return f.kern.TrgDim() }
+
+// Accelerated reports whether this solver routes phases through the
+// simulated streaming device (which owns its own phase schedule, so the
+// scheduler-tracing path does not apply).
+func (f *FMM) Accelerated() bool { return f.opt.Accelerated }
+
+// Exec returns the configured execution strategy for the density-dependent
+// phases.
+func (f *FMM) Exec() ExecMode { return f.opt.Exec }
 
 func (f *FMM) checkPoints(points []Point) error {
 	if len(points) == 0 {

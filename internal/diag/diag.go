@@ -31,19 +31,41 @@ const (
 	PhaseTree  = "Tree"
 	PhaseLET   = "LET"
 	PhaseBal   = "Balance"
+
+	// PhaseSchedIdle accumulates the task-graph scheduler's summed
+	// per-worker idle time (parked or scanning for work).
+	PhaseSchedIdle = "Sched idle"
+)
+
+// Counter names used by the task-graph runtime wiring (Profile.AddCounter);
+// they surface on /metrics as <prefix>_<name>_total.
+const (
+	// CounterSchedGraphs counts executed task graphs (one per DAG Apply).
+	CounterSchedGraphs = "sched_graphs"
+	// CounterSchedTasks counts executed scheduler tasks.
+	CounterSchedTasks = "sched_tasks"
+	// CounterSchedSteals counts successful steal operations.
+	CounterSchedSteals = "sched_steals"
+	// CounterSchedStolen counts tasks that migrated between workers.
+	CounterSchedStolen = "sched_stolen"
 )
 
 // Profile accumulates named phase timings and flop counts for one rank.
 // All methods are safe for concurrent use.
 type Profile struct {
-	mu    sync.Mutex
-	times map[string]time.Duration
-	flops map[string]int64
+	mu       sync.Mutex
+	times    map[string]time.Duration
+	flops    map[string]int64
+	counters map[string]int64
 }
 
 // NewProfile returns an empty profile.
 func NewProfile() *Profile {
-	return &Profile{times: make(map[string]time.Duration), flops: make(map[string]int64)}
+	return &Profile{
+		times:    make(map[string]time.Duration),
+		flops:    make(map[string]int64),
+		counters: make(map[string]int64),
+	}
 }
 
 // Start begins timing the named phase and returns a stop function that adds
@@ -65,6 +87,33 @@ func (p *Profile) AddFlops(name string, n int64) {
 	p.mu.Lock()
 	p.flops[name] += n
 	p.mu.Unlock()
+}
+
+// AddCounter adds v to the named monotonic counter. Counters carry event
+// counts that are not phase times or flops — e.g. the scheduler stats
+// (tasks run, steals) the task-graph runtime reports per evaluation.
+func (p *Profile) AddCounter(name string, v int64) {
+	p.mu.Lock()
+	p.counters[name] += v
+	p.mu.Unlock()
+}
+
+// Counter returns the named counter's accumulated value.
+func (p *Profile) Counter(name string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters[name]
+}
+
+// Counters returns a copy of all counters.
+func (p *Profile) Counters() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.counters))
+	for k, v := range p.counters {
+		out[k] = v
+	}
+	return out
 }
 
 // Time returns the accumulated time of the named phase.
@@ -227,6 +276,16 @@ func (p *Profile) WriteMetrics(w io.Writer, prefix string) {
 		if snap[k].Flops != 0 {
 			fmt.Fprintf(w, "%s_phase_flops_total{phase=%q} %d\n", prefix, k, snap[k].Flops)
 		}
+	}
+	counters := p.Counters()
+	cnames := make([]string, 0, len(counters))
+	for k := range counters {
+		cnames = append(cnames, k)
+	}
+	sort.Strings(cnames)
+	for _, k := range cnames {
+		fmt.Fprintf(w, "# TYPE %s_%s_total counter\n", prefix, k)
+		fmt.Fprintf(w, "%s_%s_total %d\n", prefix, k, counters[k])
 	}
 }
 

@@ -1,0 +1,268 @@
+package kifmm
+
+import (
+	"sync/atomic"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/octree"
+	"kifmm/internal/sched"
+)
+
+// EvaluateDAG runs the same computation as Evaluate re-expressed as a
+// dependency task graph on the internal/sched runtime: per-octant tasks
+// gated only on the data they actually read, instead of eight
+// bulk-synchronous phases separated by global barriers.
+//
+// Dependency structure (one task per octant per phase, omitted when the
+// octant has no work in that phase):
+//
+//	S2U(leaf)                         — no deps
+//	U2U(i)                            — after U of every child (tree parenthood)
+//	spec(a)  [FFT mode]               — after U of source a (forward FFT)
+//	V(i)                              — after U/spec of every source in i's V list
+//	X(i)                              — after V(i)            (DChk write order)
+//	D2D(i)                            — after D2D(parent), X(i)/V(i)
+//	W(leaf)                           — after U of every source in the W list
+//	D2T(leaf)                         — after D2D(leaf), W(leaf)  (potential write order)
+//	U(leaf)                           — after D2T(leaf)/W(leaf)   (potential write order)
+//
+// The per-octant bodies are the same functions the barrier path runs, the
+// intra-octant chains (V→X→D2D, W→D2T→U) reproduce the barrier path's
+// accumulation order into DChk and Potential, and every source list is
+// walked in list order — which is why the result is bit-identical to
+// Evaluate, not merely close. Priorities implement critical-path-first
+// scheduling: the upward chain is critical, V-list and the downward chain
+// high, and the independent U/W/X direct sums fill in around them.
+//
+// A nil trace skips event capture. The returned stats feed internal/diag
+// and the /metrics endpoint. The only error source is a panicking task
+// (the scheduler fails the graph instead of deadlocking).
+func (e *Engine) EvaluateDAG(trace *sched.Trace) (sched.Stats, error) {
+	defer e.timed(diag.PhaseTotalEval)()
+	g := e.buildDAG()
+	return g.Run(sched.Options{Workers: e.Workers, Trace: trace})
+}
+
+// task wraps a per-octant body with the phase timer. In the barrier path
+// each phase is timed once around its par.For; here each task adds its own
+// duration, so DAG phase times aggregate CPU time across workers rather
+// than phase wall time (flop counts are identical in both paths).
+func dagTask(g *sched.Graph, e *Engine, name string, pri sched.Priority, phase string, fn func(int32), i int32) sched.TaskID {
+	return g.Add(name, pri, func() {
+		stop := e.timed(phase)
+		fn(i)
+		stop()
+	})
+}
+
+// buildDAG assembles the task graph for one evaluation. Graph construction
+// is deterministic (node-index order throughout), which keeps task IDs
+// stable across runs of the same plan.
+func (e *Engine) buildDAG() *sched.Graph {
+	t := e.Tree
+	g := sched.NewGraph()
+	nn := len(t.Nodes)
+
+	noTasks := func() []sched.TaskID {
+		s := make([]sched.TaskID, nn)
+		for i := range s {
+			s[i] = sched.NoTask
+		}
+		return s
+	}
+	uTask := noTasks()   // S2U (leaves) or U2U (internal): finalizes e.U[i]
+	vTask := noTasks()   // V-list translations into e.DChk[i]
+	xTask := noTasks()   // X-list contributions into e.DChk[i]
+	dTask := noTasks()   // downward solve: finalizes e.D[i]
+	wTask := noTasks()   // W-list contributions into leaf potentials
+	d2tTask := noTasks() // own downward field into leaf potentials
+
+	// Upward chain: S2U per populated local leaf, U2U per internal node,
+	// chained by tree parenthood (finest level first falls out of the
+	// dependencies).
+	for _, i := range t.Leaves {
+		n := &t.Nodes[i]
+		if !n.Local || n.NPoints() == 0 {
+			continue
+		}
+		uTask[i] = dagTask(g, e, "S2U", sched.PriCritical, diag.PhaseUpward, e.s2uLeaf, i)
+	}
+	for i := 0; i < nn; i++ {
+		if !t.Nodes[i].IsLeaf {
+			uTask[i] = dagTask(g, e, "U2U", sched.PriCritical, diag.PhaseUpward, e.u2uNode, int32(i))
+		}
+	}
+	for i := 0; i < nn; i++ {
+		n := &t.Nodes[i]
+		if n.IsLeaf {
+			continue
+		}
+		for _, cj := range n.Children {
+			if cj != octree.NoNode && uTask[cj] != sched.NoTask {
+				g.Dep(uTask[cj], uTask[i])
+			}
+		}
+	}
+
+	// V-list: per-target translation tasks gated on exactly the sources
+	// they read. The FFT mode adds one forward-transform task per source.
+	if e.UseFFTM2L {
+		e.buildVFFT(g, uTask, vTask)
+	} else {
+		for i := 0; i < nn; i++ {
+			n := &t.Nodes[i]
+			if len(n.V) == 0 {
+				continue
+			}
+			vTask[i] = dagTask(g, e, "V", sched.PriHigh, diag.PhaseVList,
+				func(i int32) { e.vliDenseNode(i, nil) }, int32(i))
+			for _, a := range n.V {
+				if uTask[a] != sched.NoTask {
+					g.Dep(uTask[a], vTask[i])
+				}
+			}
+		}
+	}
+
+	// X-list: reads source points (no upward deps), but chained after the
+	// octant's V task to preserve the DChk accumulation order.
+	for i := 0; i < nn; i++ {
+		if len(t.Nodes[i].X) == 0 {
+			continue
+		}
+		xTask[i] = dagTask(g, e, "X", sched.PriNormal, diag.PhaseXList, e.xliNode, int32(i))
+		if vTask[i] != sched.NoTask {
+			g.Dep(vTask[i], xTask[i])
+		}
+	}
+
+	// Downward chain: parent before child (parents precede children in
+	// Morton preorder, so dTask[n.Parent] is already assigned), after the
+	// octant's last DChk contribution.
+	for i := 0; i < nn; i++ {
+		n := &t.Nodes[i]
+		if !n.Local {
+			continue
+		}
+		dTask[i] = dagTask(g, e, "D2D", sched.PriHigh, diag.PhaseDownward, e.downwardNode, int32(i))
+		last := xTask[i]
+		if last == sched.NoTask {
+			last = vTask[i]
+		}
+		if last != sched.NoTask {
+			g.Dep(last, dTask[i])
+		}
+		if n.Parent != octree.NoNode && dTask[n.Parent] != sched.NoTask {
+			g.Dep(dTask[n.Parent], dTask[i])
+		}
+	}
+
+	// Leaf potential chain, in the barrier path's accumulation order:
+	// W-list, then the leaf's own downward field, then the direct sum.
+	for _, i := range t.Leaves {
+		n := &t.Nodes[i]
+		if len(n.W) > 0 && n.NPoints() > 0 {
+			wTask[i] = dagTask(g, e, "W", sched.PriLow, diag.PhaseWList, e.wliLeaf, i)
+			for _, a := range n.W {
+				if uTask[a] != sched.NoTask {
+					g.Dep(uTask[a], wTask[i])
+				}
+			}
+		}
+		if n.Local && n.NPoints() > 0 {
+			d2tTask[i] = dagTask(g, e, "D2T", sched.PriNormal, diag.PhaseDownward, e.d2tLeaf, i)
+			g.Dep(dTask[i], d2tTask[i])
+			if wTask[i] != sched.NoTask {
+				g.Dep(wTask[i], d2tTask[i])
+			}
+		}
+		if len(n.U) > 0 && n.NPoints() > 0 {
+			uli := dagTask(g, e, "U", sched.PriLow, diag.PhaseUList, e.uliLeaf, i)
+			prev := d2tTask[i]
+			if prev == sched.NoTask {
+				prev = wTask[i]
+			}
+			if prev != sched.NoTask {
+				g.Dep(prev, uli)
+			}
+		}
+	}
+	return g
+}
+
+// buildVFFT adds the FFT-diagonalized V-list subgraph: one forward-FFT
+// ("spec") task per referenced source octant and one Hadamard+inverse-FFT
+// task per target octant. Source spectra are reference-counted and released
+// as their last consumer finishes, which bounds the live-spectrum footprint
+// the barrier path bounds with its fixed-size target blocks.
+func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
+	t := e.Tree
+	f := e.Ops.FFT()
+	nn := len(t.Nodes)
+	spec := make([][][]complex128, nn)
+	refs := make([]int32, nn)
+	specTask := make([]sched.TaskID, nn)
+	for i := range specTask {
+		specTask[i] = sched.NoTask
+	}
+
+	for i := 0; i < nn; i++ {
+		for _, a := range t.Nodes[i].V {
+			refs[a]++
+			if specTask[a] == sched.NoTask {
+				a := a
+				specTask[a] = g.Add("spec", sched.PriHigh, func() {
+					stop := e.timed(diag.PhaseVList)
+					spec[a] = f.SourceSpectrum(e.U[a])
+					stop()
+				})
+				if uTask[a] != sched.NoTask {
+					g.Dep(uTask[a], specTask[a])
+				}
+			}
+		}
+	}
+	for i := 0; i < nn; i++ {
+		n := &t.Nodes[i]
+		if len(n.V) == 0 {
+			continue
+		}
+		vTask[i] = dagTask(g, e, "Vfft", sched.PriHigh, diag.PhaseVList,
+			func(i int32) { e.vliFFTNode(i, f, spec, refs) }, int32(i))
+		for _, a := range n.V {
+			g.Dep(specTask[a], vTask[i])
+		}
+	}
+}
+
+// vliFFTNode is the per-target FFT V-list body: Hadamard-accumulate every
+// V source's spectrum (in V-list order, as the barrier path does within a
+// block), inverse-transform, and add into e.DChk[i]. Afterwards it drops
+// the refcount of each consumed spectrum, freeing it on zero; the atomic
+// decrement orders the release after every other consumer's reads.
+func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][][]complex128, refs []int32) {
+	t := e.Tree
+	n := &t.Nodes[i]
+	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
+	tfLevel := 0
+	if !e.Ops.Homogeneous() {
+		tfLevel = n.Key.Level()
+	}
+	acc := make([][]complex128, td)
+	for x := range acc {
+		acc[x] = make([]complex128, f.GridLen())
+	}
+	for _, a := range n.V {
+		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
+		tf := f.TranslationAt(tfLevel, dx, dy, dz)
+		Hadamard(acc, tf, spec[a], sd)
+		e.addFlops(diag.PhaseVList, int64(8*td*sd*f.GridLen()))
+	}
+	scale := e.Ops.KernScale(n.Key.Level())
+	f.ExtractCheck(acc, scale, e.DChk[i])
+	for _, a := range n.V {
+		if atomic.AddInt32(&refs[a], -1) == 0 {
+			spec[a] = nil
+		}
+	}
+}

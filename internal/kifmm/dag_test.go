@@ -1,0 +1,137 @@
+package kifmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+	"kifmm/internal/octree"
+	"kifmm/internal/sched"
+)
+
+// newTestEngine builds tree + engine for one configuration.
+func newTestEngine(t *testing.T, kern kernel.Kernel, dist geom.Distribution, n, q int, useFFT bool, workers int) *Engine {
+	t.Helper()
+	pts := geom.Generate(dist, n, 42)
+	tr := octree.Build(pts, q, 20)
+	tr.BuildLists(nil)
+	ops := NewOperators(kern, 4, 1e-9)
+	e := NewEngine(ops, tr)
+	e.UseFFTM2L = useFFT
+	e.Workers = workers
+	den := randDensities(rand.New(rand.NewSource(7)), n, kern.SrcDim())
+	e.SetPointDensities(den)
+	return e
+}
+
+// bitIdentical fails unless every element of got equals want exactly.
+func bitIdentical(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d differs: %v vs %v (not bit-identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestEvaluateDAGBitIdentical is the differential oracle: the task-graph
+// execution must reproduce the barrier execution bit for bit — same
+// per-octant bodies, same accumulation order — across distributions,
+// translation modes, kernels, and worker counts.
+func TestEvaluateDAGBitIdentical(t *testing.T) {
+	cases := []struct {
+		name    string
+		kern    kernel.Kernel
+		dist    geom.Distribution
+		n, q    int
+		useFFT  bool
+		workers int
+	}{
+		{"laplace/uniform/dense/w1", kernel.Laplace{}, geom.Uniform, 700, 30, false, 1},
+		{"laplace/uniform/dense/w4", kernel.Laplace{}, geom.Uniform, 700, 30, false, 4},
+		{"laplace/uniform/fft/w4", kernel.Laplace{}, geom.Uniform, 700, 30, true, 4},
+		{"laplace/ellipsoid/dense/w4", kernel.Laplace{}, geom.Ellipsoid, 900, 8, false, 4},
+		{"laplace/ellipsoid/fft/w4", kernel.Laplace{}, geom.Ellipsoid, 900, 8, true, 4},
+		{"stokes/ellipsoid/dense/w4", kernel.Stokes{}, geom.Ellipsoid, 400, 12, false, 4},
+		{"yukawa/ellipsoid/fft/w4", kernel.Yukawa{Lambda: 5}, geom.Ellipsoid, 500, 10, true, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			barrier := newTestEngine(t, tc.kern, tc.dist, tc.n, tc.q, tc.useFFT, tc.workers)
+			barrier.Evaluate()
+
+			dag := newTestEngine(t, tc.kern, tc.dist, tc.n, tc.q, tc.useFFT, tc.workers)
+			st, err := dag.EvaluateDAG(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Tasks == 0 {
+				t.Fatal("DAG ran no tasks")
+			}
+
+			bitIdentical(t, "Potential", dag.Potential, barrier.Potential)
+			for i := range barrier.U {
+				bitIdentical(t, "U", dag.U[i], barrier.U[i])
+				bitIdentical(t, "D", dag.D[i], barrier.D[i])
+				bitIdentical(t, "DChk", dag.DChk[i], barrier.DChk[i])
+			}
+		})
+	}
+}
+
+// TestEvaluateDAGRepeatable: with a fixed density vector, repeated DAG
+// evaluations (arbitrary interleavings) must stay bit-identical — the
+// determinism claim of DESIGN.md §7.2.
+func TestEvaluateDAGRepeatable(t *testing.T) {
+	e := newTestEngine(t, kernel.Laplace{}, geom.Ellipsoid, 800, 10, true, 4)
+	if _, err := e.EvaluateDAG(nil); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float64(nil), e.Potential...)
+	for trial := 0; trial < 3; trial++ {
+		e.Reset()
+		if _, err := e.EvaluateDAG(nil); err != nil {
+			t.Fatal(err)
+		}
+		bitIdentical(t, "repeat", e.Potential, first)
+	}
+}
+
+// TestEvaluateDAGTrace checks that tracing records one event per task.
+func TestEvaluateDAGTrace(t *testing.T) {
+	e := newTestEngine(t, kernel.Laplace{}, geom.Uniform, 500, 25, false, 2)
+	tr := sched.NewTrace()
+	st, err := e.EvaluateDAG(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(tr.Events()) != st.Tasks {
+		t.Fatalf("trace has %d events for %d tasks", tr.Events(), st.Tasks)
+	}
+}
+
+// TestEvaluateDAGStats sanity-checks the scheduler stats surface.
+func TestEvaluateDAGStats(t *testing.T) {
+	e := newTestEngine(t, kernel.Laplace{}, geom.Ellipsoid, 800, 10, false, 4)
+	st, err := e.EvaluateDAG(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks <= int64(len(e.Tree.Leaves)) {
+		t.Fatalf("implausibly few tasks: %d for %d leaves", st.Tasks, len(e.Tree.Leaves))
+	}
+	if len(st.PerWorker) != 4 {
+		t.Fatalf("want 4 worker rows, got %d", len(st.PerWorker))
+	}
+	var sum int64
+	for _, ws := range st.PerWorker {
+		sum += ws.Tasks
+	}
+	if sum != st.Tasks {
+		t.Fatalf("per-worker tasks %d != total %d", sum, st.Tasks)
+	}
+}

@@ -18,6 +18,13 @@ import (
 // Phase methods only touch octants selected by the tree's interaction lists
 // and the Local flags, which is what allows the same engine to run both the
 // sequential FMM and each rank's local essential tree.
+//
+// Each phase exists in two executions over the same per-octant bodies
+// (s2uLeaf, u2uNode, ...): the barrier path below (bulk-synchronous par.For
+// per phase, as in the paper) and the task-graph path in dag.go
+// (EvaluateDAG), which replaces the phase barriers with per-octant
+// dependencies. Because both run the identical per-octant arithmetic in the
+// identical accumulation order, their results are bit-identical.
 type Engine struct {
 	Ops  *Operators
 	Tree *octree.Tree
@@ -113,59 +120,69 @@ func (e *Engine) upwardSurface(i int32) []geom.Point {
 func (e *Engine) S2U() {
 	defer e.timed(diag.PhaseUpward)()
 	t := e.Tree
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		e.s2uLeaf(t.Leaves[li])
+	})
+}
+
+// s2uLeaf is the per-octant S2U body: writes e.U[i] from leaf i's points.
+func (e *Engine) s2uLeaf(i int32) {
+	t := e.Tree
 	kern := e.Ops.Kern
 	sd := kern.SrcDim()
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		i := t.Leaves[li]
-		n := &t.Nodes[i]
-		if !n.Local || n.NPoints() == 0 {
-			return
+	n := &t.Nodes[i]
+	if !n.Local || n.NPoints() == 0 {
+		return
+	}
+	c, h := e.nodeCenterRad(i)
+	uc := e.Ops.Grid.Points(c, RadOuter*h)
+	chk := make([]float64, e.Ops.CheckLen())
+	pts := t.LeafPoints(i)
+	td := kern.TrgDim()
+	for pi, p := range pts {
+		den := e.Density[(int(n.PtLo)+pi)*sd : (int(n.PtLo)+pi+1)*sd]
+		for ci, cp := range uc {
+			kern.Eval(cp, p, den, chk[ci*td:(ci+1)*td])
 		}
-		c, h := e.nodeCenterRad(i)
-		uc := e.Ops.Grid.Points(c, RadOuter*h)
-		chk := make([]float64, e.Ops.CheckLen())
-		pts := t.LeafPoints(i)
-		td := kern.TrgDim()
-		for pi, p := range pts {
-			den := e.Density[(int(n.PtLo)+pi)*sd : (int(n.PtLo)+pi+1)*sd]
-			for ci, cp := range uc {
-				kern.Eval(cp, p, den, chk[ci*td:(ci+1)*td])
-			}
-		}
-		m, scale := e.Ops.S2UOp(n.Key.Level())
-		tmp := make([]float64, e.Ops.UpwardLen())
-		m.MulVec(tmp, chk)
-		for x := range tmp {
-			e.U[i][x] += scale * tmp[x]
-		}
-		e.addFlops(diag.PhaseUpward, int64(len(pts)*len(uc)*kern.FlopsPerInteraction())+
-			2*int64(m.Rows*m.Cols))
-	})
+	}
+	m, scale := e.Ops.S2UOp(n.Key.Level())
+	tmp := make([]float64, e.Ops.UpwardLen())
+	m.MulVec(tmp, chk)
+	for x := range tmp {
+		e.U[i][x] += scale * tmp[x]
+	}
+	e.addFlops(diag.PhaseUpward, int64(len(pts)*len(uc)*kern.FlopsPerInteraction())+
+		2*int64(m.Rows*m.Cols))
 }
 
 // U2U accumulates child upward densities into parents, finest level first
 // (step 2). Within a level, parents are processed independently.
 func (e *Engine) U2U() {
 	defer e.timed(diag.PhaseUpward)()
-	t := e.Tree
 	byLevel := e.nodesByLevel()
 	for l := len(byLevel) - 1; l >= 0; l-- {
 		nodes := byLevel[l]
 		par.For(e.Workers, len(nodes), func(ni int) {
-			i := nodes[ni]
-			n := &t.Nodes[i]
-			if n.IsLeaf {
-				return
-			}
-			for ci, cj := range n.Children {
-				if cj == octree.NoNode {
-					continue
-				}
-				m := e.Ops.U2UOp(n.Key.Level(), ci)
-				m.MulVecAdd(e.U[i], e.U[cj])
-				e.addFlops(diag.PhaseUpward, 2*int64(m.Rows*m.Cols))
-			}
+			e.u2uNode(nodes[ni])
 		})
+	}
+}
+
+// u2uNode is the per-octant U2U body: accumulates node i's children into
+// e.U[i]. Requires every child's U to be final.
+func (e *Engine) u2uNode(i int32) {
+	t := e.Tree
+	n := &t.Nodes[i]
+	if n.IsLeaf {
+		return
+	}
+	for ci, cj := range n.Children {
+		if cj == octree.NoNode {
+			continue
+		}
+		m := e.Ops.U2UOp(n.Key.Level(), ci)
+		m.MulVecAdd(e.U[i], e.U[cj])
+		e.addFlops(diag.PhaseUpward, 2*int64(m.Rows*m.Cols))
 	}
 }
 
@@ -188,24 +205,31 @@ func (e *Engine) VLIFiltered(srcSel func(i int32) bool) {
 	}
 	t := e.Tree
 	par.For(e.Workers, len(t.Nodes), func(i int) {
-		n := &t.Nodes[i]
-		if len(n.V) == 0 {
-			return
-		}
-		tmp := make([]float64, e.Ops.CheckLen())
-		for _, a := range n.V {
-			if srcSel != nil && !srcSel(a) {
-				continue
-			}
-			dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
-			m, scale := e.Ops.M2LAt(n.Key.Level(), dx, dy, dz)
-			m.MulVec(tmp, e.U[a])
-			for x := range tmp {
-				e.DChk[i][x] += scale * tmp[x]
-			}
-			e.addFlops(diag.PhaseVList, 2*int64(m.Rows*m.Cols))
-		}
+		e.vliDenseNode(int32(i), srcSel)
 	})
+}
+
+// vliDenseNode is the per-octant dense V-list body: accumulates every
+// selected source's M2L translation into e.DChk[i], in V-list order.
+func (e *Engine) vliDenseNode(i int32, srcSel func(i int32) bool) {
+	t := e.Tree
+	n := &t.Nodes[i]
+	if len(n.V) == 0 {
+		return
+	}
+	tmp := make([]float64, e.Ops.CheckLen())
+	for _, a := range n.V {
+		if srcSel != nil && !srcSel(a) {
+			continue
+		}
+		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
+		m, scale := e.Ops.M2LAt(n.Key.Level(), dx, dy, dz)
+		m.MulVec(tmp, e.U[a])
+		for x := range tmp {
+			e.DChk[i][x] += scale * tmp[x]
+		}
+		e.addFlops(diag.PhaseVList, 2*int64(m.Rows*m.Cols))
+	}
 }
 
 // dirBetween returns the (trg − src) anchor offset in units of the common
@@ -222,29 +246,37 @@ func dirBetween(src, trg morton.Key) (int, int, int) {
 func (e *Engine) XLI() {
 	defer e.timed(diag.PhaseXList)()
 	t := e.Tree
+	par.For(e.Workers, len(t.Nodes), func(i int) {
+		e.xliNode(int32(i))
+	})
+}
+
+// xliNode is the per-octant X-list body: accumulates X-list source points
+// into e.DChk[i]. Must run after node i's V-list contributions (the barrier
+// path orders the whole phases; the DAG chains the two tasks per octant).
+func (e *Engine) xliNode(i int32) {
+	t := e.Tree
 	kern := e.Ops.Kern
 	sd, td := kern.SrcDim(), kern.TrgDim()
-	par.For(e.Workers, len(t.Nodes), func(i int) {
-		n := &t.Nodes[i]
-		if len(n.X) == 0 {
-			return
-		}
-		c, h := e.nodeCenterRad(int32(i))
-		dc := e.Ops.Grid.Points(c, RadInner*h)
-		var pairs int
-		for _, a := range n.X {
-			an := &t.Nodes[a]
-			pts := t.LeafPoints(a)
-			for pi, p := range pts {
-				den := e.Density[(int(an.PtLo)+pi)*sd : (int(an.PtLo)+pi+1)*sd]
-				for ci, cp := range dc {
-					kern.Eval(cp, p, den, e.DChk[i][ci*td:(ci+1)*td])
-				}
+	n := &t.Nodes[i]
+	if len(n.X) == 0 {
+		return
+	}
+	c, h := e.nodeCenterRad(i)
+	dc := e.Ops.Grid.Points(c, RadInner*h)
+	var pairs int
+	for _, a := range n.X {
+		an := &t.Nodes[a]
+		pts := t.LeafPoints(a)
+		for pi, p := range pts {
+			den := e.Density[(int(an.PtLo)+pi)*sd : (int(an.PtLo)+pi+1)*sd]
+			for ci, cp := range dc {
+				kern.Eval(cp, p, den, e.DChk[i][ci*td:(ci+1)*td])
 			}
-			pairs += len(pts) * len(dc)
 		}
-		e.addFlops(diag.PhaseXList, int64(pairs*kern.FlopsPerInteraction()))
-	})
+		pairs += len(pts) * len(dc)
+	}
+	e.addFlops(diag.PhaseXList, int64(pairs*kern.FlopsPerInteraction()))
 }
 
 // Downward runs the downward pass (step 4): top-down, each local octant
@@ -252,35 +284,41 @@ func (e *Engine) XLI() {
 // solves for its own downward-equivalent densities.
 func (e *Engine) Downward() {
 	defer e.timed(diag.PhaseDownward)()
-	t := e.Tree
 	byLevel := e.nodesByLevel()
 	for l := 0; l < len(byLevel); l++ {
 		nodes := byLevel[l]
 		par.For(e.Workers, len(nodes), func(ni int) {
-			i := nodes[ni]
-			n := &t.Nodes[i]
-			if !n.Local {
-				return
-			}
-			if n.Parent != octree.NoNode {
-				ci := n.Key.ChildIndex()
-				m, scale := e.Ops.D2DOp(n.Key.Level()-1, ci)
-				tmp := make([]float64, e.Ops.CheckLen())
-				m.MulVec(tmp, e.D[n.Parent])
-				for x := range tmp {
-					e.DChk[i][x] += scale * tmp[x]
-				}
-				e.addFlops(diag.PhaseDownward, 2*int64(m.Rows*m.Cols))
-			}
-			pm, pscale := e.Ops.DC2DEOp(n.Key.Level())
-			tmp2 := make([]float64, e.Ops.UpwardLen())
-			pm.MulVec(tmp2, e.DChk[i])
-			for x := range tmp2 {
-				e.D[i][x] += pscale * tmp2[x]
-			}
-			e.addFlops(diag.PhaseDownward, 2*int64(pm.Rows*pm.Cols))
+			e.downwardNode(nodes[ni])
 		})
 	}
+}
+
+// downwardNode is the per-octant downward body: shifts the parent's
+// downward field into e.DChk[i] and solves for e.D[i]. Requires the
+// parent's D to be final and all of node i's V/X contributions done.
+func (e *Engine) downwardNode(i int32) {
+	t := e.Tree
+	n := &t.Nodes[i]
+	if !n.Local {
+		return
+	}
+	if n.Parent != octree.NoNode {
+		ci := n.Key.ChildIndex()
+		m, scale := e.Ops.D2DOp(n.Key.Level()-1, ci)
+		tmp := make([]float64, e.Ops.CheckLen())
+		m.MulVec(tmp, e.D[n.Parent])
+		for x := range tmp {
+			e.DChk[i][x] += scale * tmp[x]
+		}
+		e.addFlops(diag.PhaseDownward, 2*int64(m.Rows*m.Cols))
+	}
+	pm, pscale := e.Ops.DC2DEOp(n.Key.Level())
+	tmp2 := make([]float64, e.Ops.UpwardLen())
+	pm.MulVec(tmp2, e.DChk[i])
+	for x := range tmp2 {
+		e.D[i][x] += pscale * tmp2[x]
+	}
+	e.addFlops(diag.PhaseDownward, 2*int64(pm.Rows*pm.Cols))
 }
 
 // WLI evaluates W-list upward-equivalent fields at local leaf targets
@@ -288,29 +326,35 @@ func (e *Engine) Downward() {
 func (e *Engine) WLI() {
 	defer e.timed(diag.PhaseWList)()
 	t := e.Tree
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		e.wliLeaf(t.Leaves[li])
+	})
+}
+
+// wliLeaf is the per-leaf W-list body: accumulates W sources'
+// upward-equivalent fields into leaf i's potentials.
+func (e *Engine) wliLeaf(i int32) {
+	t := e.Tree
 	kern := e.Ops.Kern
 	sd, td := kern.SrcDim(), kern.TrgDim()
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		i := t.Leaves[li]
-		n := &t.Nodes[i]
-		if len(n.W) == 0 || n.NPoints() == 0 {
-			return
-		}
-		trgs := t.LeafPoints(i)
-		var pairs int
-		for _, a := range n.W {
-			ue := e.upwardSurface(a)
-			ua := e.U[a]
-			for pi, p := range trgs {
-				out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
-				for si, sp := range ue {
-					kern.Eval(p, sp, ua[si*sd:(si+1)*sd], out)
-				}
+	n := &t.Nodes[i]
+	if len(n.W) == 0 || n.NPoints() == 0 {
+		return
+	}
+	trgs := t.LeafPoints(i)
+	var pairs int
+	for _, a := range n.W {
+		ue := e.upwardSurface(a)
+		ua := e.U[a]
+		for pi, p := range trgs {
+			out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
+			for si, sp := range ue {
+				kern.Eval(p, sp, ua[si*sd:(si+1)*sd], out)
 			}
-			pairs += len(trgs) * len(ue)
 		}
-		e.addFlops(diag.PhaseWList, int64(pairs*kern.FlopsPerInteraction()))
-	})
+		pairs += len(trgs) * len(ue)
+	}
+	e.addFlops(diag.PhaseWList, int64(pairs*kern.FlopsPerInteraction()))
 }
 
 // D2T evaluates each local leaf's downward-equivalent field at its own
@@ -318,25 +362,32 @@ func (e *Engine) WLI() {
 func (e *Engine) D2T() {
 	defer e.timed(diag.PhaseDownward)()
 	t := e.Tree
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		e.d2tLeaf(t.Leaves[li])
+	})
+}
+
+// d2tLeaf is the per-leaf D2T body: adds leaf i's own downward field to its
+// potentials. Must run after the leaf's WLI contributions (accumulation
+// order) and its downward solve.
+func (e *Engine) d2tLeaf(i int32) {
+	t := e.Tree
 	kern := e.Ops.Kern
 	sd, td := kern.SrcDim(), kern.TrgDim()
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		i := t.Leaves[li]
-		n := &t.Nodes[i]
-		if !n.Local || n.NPoints() == 0 {
-			return
+	n := &t.Nodes[i]
+	if !n.Local || n.NPoints() == 0 {
+		return
+	}
+	c, h := e.nodeCenterRad(i)
+	de := e.Ops.Grid.Points(c, RadOuter*h)
+	trgs := t.LeafPoints(i)
+	for pi, p := range trgs {
+		out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
+		for si, sp := range de {
+			kern.Eval(p, sp, e.D[i][si*sd:(si+1)*sd], out)
 		}
-		c, h := e.nodeCenterRad(i)
-		de := e.Ops.Grid.Points(c, RadOuter*h)
-		trgs := t.LeafPoints(i)
-		for pi, p := range trgs {
-			out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
-			for si, sp := range de {
-				kern.Eval(p, sp, e.D[i][si*sd:(si+1)*sd], out)
-			}
-		}
-		e.addFlops(diag.PhaseDownward, int64(len(trgs)*len(de)*kern.FlopsPerInteraction()))
-	})
+	}
+	e.addFlops(diag.PhaseDownward, int64(len(trgs)*len(de)*kern.FlopsPerInteraction()))
 }
 
 // ULI computes the exact near-field interactions (the direct sum over the
@@ -344,29 +395,36 @@ func (e *Engine) D2T() {
 func (e *Engine) ULI() {
 	defer e.timed(diag.PhaseUList)()
 	t := e.Tree
+	par.For(e.Workers, len(t.Leaves), func(li int) {
+		e.uliLeaf(t.Leaves[li])
+	})
+}
+
+// uliLeaf is the per-leaf U-list body: the exact direct sum into leaf i's
+// potentials. Must run after the leaf's WLI and D2T contributions
+// (accumulation order).
+func (e *Engine) uliLeaf(i int32) {
+	t := e.Tree
 	kern := e.Ops.Kern
 	sd, td := kern.SrcDim(), kern.TrgDim()
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		i := t.Leaves[li]
-		n := &t.Nodes[i]
-		if len(n.U) == 0 || n.NPoints() == 0 {
-			return
-		}
-		trgs := t.LeafPoints(i)
-		var pairs int
-		for _, a := range n.U {
-			an := &t.Nodes[a]
-			srcs := t.LeafPoints(a)
-			for pi, p := range trgs {
-				out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
-				for si, sp := range srcs {
-					kern.Eval(p, sp, e.Density[(int(an.PtLo)+si)*sd:(int(an.PtLo)+si+1)*sd], out)
-				}
+	n := &t.Nodes[i]
+	if len(n.U) == 0 || n.NPoints() == 0 {
+		return
+	}
+	trgs := t.LeafPoints(i)
+	var pairs int
+	for _, a := range n.U {
+		an := &t.Nodes[a]
+		srcs := t.LeafPoints(a)
+		for pi, p := range trgs {
+			out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
+			for si, sp := range srcs {
+				kern.Eval(p, sp, e.Density[(int(an.PtLo)+si)*sd:(int(an.PtLo)+si+1)*sd], out)
 			}
-			pairs += len(trgs) * len(srcs)
 		}
-		e.addFlops(diag.PhaseUList, int64(pairs*kern.FlopsPerInteraction()))
-	})
+		pairs += len(trgs) * len(srcs)
+	}
+	e.addFlops(diag.PhaseUList, int64(pairs*kern.FlopsPerInteraction()))
 }
 
 // Evaluate runs the full sequential FMM: upward pass, translations, downward

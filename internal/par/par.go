@@ -1,18 +1,23 @@
-// Package par provides the bounded worker-pool parallel loop used for
-// within-rank shared-memory parallelism (the per-octant loops of the FMM
-// evaluation phases).
+// Package par provides the bounded parallel loop used for within-rank
+// shared-memory parallelism (the per-octant loops of the FMM evaluation
+// phases). It is a thin shim over the internal/sched task runtime — one
+// task per chunk of iterations — so the tree has a single worker-pool
+// implementation; the task-graph evaluation path (kifmm.EvaluateDAG) uses
+// the same runtime directly with real dependencies.
 package par
 
 import (
+	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"kifmm/internal/sched"
 )
 
 // For executes f(i) for i in [0, n) using at most workers goroutines.
-// workers <= 1 runs inline. Iterations are claimed dynamically in chunks to
-// balance irregular per-iteration costs (adaptive trees make neighboring
-// octants wildly different in work).
+// workers <= 1 runs inline, in order. Iterations are grouped into chunks
+// (one scheduler task each) and balanced by work stealing, which handles
+// the wildly different per-octant costs of adaptive trees. A panic in f
+// propagates to the caller after the remaining chunks have drained.
 func For(workers, n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -26,34 +31,27 @@ func For(workers, n int, f func(i int)) {
 	if workers > n {
 		workers = n
 	}
-	// Chunked dynamic scheduling: amortize the atomic per ~8 iterations
-	// while still balancing skewed workloads.
+	// Chunking amortizes the per-task overhead on big loops while keeping
+	// enough tasks in flight to balance skewed workloads.
 	chunk := 8
 	if n/workers < 64 {
 		chunk = 1
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					f(i)
-				}
+	g := sched.NewGraph()
+	for start := 0; start < n; start += chunk {
+		lo, hi := start, start+chunk
+		if hi > n {
+			hi = n
+		}
+		g.Add("par.For", sched.PriNormal, func() {
+			for i := lo; i < hi; i++ {
+				f(i)
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	if _, err := g.Run(sched.Options{Workers: workers}); err != nil {
+		panic(fmt.Sprintf("par.For: %v", err))
+	}
 }
 
 // DefaultWorkers returns a sensible worker count for CPU-bound loops.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -40,6 +41,13 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// TraceDir, when non-empty, dumps a Chrome trace_event JSON of the
+	// scheduler's execution for every evaluation request into this
+	// directory (bounded by TraceKeep, oldest deleted). Tracing forces the
+	// task-graph execution path and is refused for accelerated plans.
+	TraceDir string
+	// TraceKeep bounds the number of retained trace files (default 32).
+	TraceKeep int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +79,7 @@ type Server struct {
 	cache    *PlanCache
 	pool     *Pool
 	prof     *diag.Profile
+	traces   *traceSink
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
@@ -86,6 +95,16 @@ func New(cfg Config) *Server {
 		prof:  diag.NewProfile(),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+	}
+	if cfg.TraceDir != "" {
+		sink, err := newTraceSink(cfg.TraceDir, cfg.TraceKeep)
+		if err != nil {
+			// A broken trace dir must not take the service down; log via
+			// the profile-free path and serve without tracing.
+			fmt.Fprintf(os.Stderr, "fmmserve: tracing disabled: %v\n", err)
+		} else {
+			s.traces = sink
+		}
 	}
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
@@ -303,7 +322,20 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		applyStop := s.prof.Start(phaseApply)
-		pots, evalErr = entry.Plan.Apply(req.Densities)
+		// ApplyTraced runs the task-graph scheduler, so skip tracing for
+		// plans that force the barrier path (or route through the device):
+		// the client's exec choice wins over the operator's -trace-dir.
+		if s.traces != nil && !entry.Solver.Accelerated() && entry.Solver.Exec() != kifmm.ExecBarrier {
+			var traceJSON []byte
+			pots, traceJSON, evalErr = entry.Plan.ApplyTraced(req.Densities)
+			if evalErr == nil {
+				if _, werr := s.traces.Write(traceJSON); werr != nil {
+					fmt.Fprintf(os.Stderr, "fmmserve: trace write: %v\n", werr)
+				}
+			}
+		} else {
+			pots, evalErr = entry.Plan.Apply(req.Densities)
+		}
 		applyStop()
 		elapsed = time.Since(t0)
 	})
@@ -354,6 +386,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "fmmserve_tasks_completed_total %d\n", ps.Completed)
 	fmt.Fprintf(w, "fmmserve_tasks_rejected_total %d\n", ps.Rejected)
 	fmt.Fprintf(w, "fmmserve_tasks_expired_total %d\n", ps.Expired)
+	if s.traces != nil {
+		fmt.Fprintf(w, "fmmserve_traces_written_total %d\n", s.traces.Written())
+	}
 	s.prof.WriteMetrics(w, "kifmm")
 }
 

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// traceSink persists per-request scheduler traces (Chrome trace_event
+// JSON) into a directory, keeping at most keep files: when the bound is
+// reached the oldest trace is deleted. Files are named
+// eval-<sequence>.trace.json; open one at chrome://tracing or
+// ui.perfetto.dev.
+type traceSink struct {
+	dir  string
+	keep int
+
+	mu      sync.Mutex
+	seq     int64
+	files   []string // paths written this process, oldest first
+	written int64
+}
+
+// newTraceSink creates dir if needed. keep <= 0 selects the default of 32.
+func newTraceSink(dir string, keep int) (*traceSink, error) {
+	if keep <= 0 {
+		keep = 32
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace dir: %w", err)
+	}
+	return &traceSink{dir: dir, keep: keep}, nil
+}
+
+// Write stores one trace document and prunes beyond the bound, returning
+// the file path.
+func (s *traceSink) Write(data []byte) (string, error) {
+	s.mu.Lock()
+	s.seq++
+	path := filepath.Join(s.dir, fmt.Sprintf("eval-%06d.trace.json", s.seq))
+	s.files = append(s.files, path)
+	var evict string
+	if len(s.files) > s.keep {
+		evict = s.files[0]
+		s.files = append(s.files[:0], s.files[1:]...)
+	}
+	s.mu.Unlock()
+
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	if evict != "" {
+		os.Remove(evict)
+	}
+	s.mu.Lock()
+	s.written++
+	s.mu.Unlock()
+	return path, nil
+}
+
+// Written returns how many traces have been persisted.
+func (s *traceSink) Written() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}

@@ -1,0 +1,127 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTraceSinkBoundedRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newTraceSink(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := s.Write([]byte(`{"traceEvents":[]}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Written(); got != 7 {
+		t.Fatalf("written = %d, want 7", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("retained %d files, want 3", len(ents))
+	}
+	// The survivors must be the newest three.
+	want := map[string]bool{
+		"eval-000005.trace.json": true,
+		"eval-000006.trace.json": true,
+		"eval-000007.trace.json": true,
+	}
+	for _, e := range ents {
+		if !want[e.Name()] {
+			t.Fatalf("unexpected survivor %q (oldest not evicted)", e.Name())
+		}
+	}
+}
+
+func TestTraceSinkDefaultKeep(t *testing.T) {
+	s, err := newTraceSink(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.keep != 32 {
+		t.Fatalf("default keep = %d, want 32", s.keep)
+	}
+}
+
+// TestServerTraceDir exercises the end-to-end path: an evaluation against a
+// server configured with TraceDir must leave a valid Chrome trace_event
+// document on disk and count it on /metrics.
+func TestServerTraceDir(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 2, QueueDepth: 8, RequestTimeout: time.Minute,
+		TraceDir: dir, TraceKeep: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(300, 9)
+	opts := fastOpts()
+	opts.Workers = 2
+	var resp EvaluateResponse
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+		EvaluateRequest{Points: pts, Options: opts, Densities: den}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", code, raw)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("trace files = %d, want 1", len(ents))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	r, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := r.Body.Read(buf)
+	if !containsLine(string(buf[:n]), "fmmserve_traces_written_total 1") {
+		t.Fatalf("metrics missing trace counter:\n%s", buf[:n])
+	}
+}
+
+func containsLine(body, line string) bool {
+	for len(body) > 0 {
+		i := 0
+		for i < len(body) && body[i] != '\n' {
+			i++
+		}
+		if body[:i] == line {
+			return true
+		}
+		if i == len(body) {
+			break
+		}
+		body = body[i+1:]
+	}
+	return false
+}

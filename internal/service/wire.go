@@ -31,6 +31,22 @@ type SolverOptions struct {
 	Balanced     bool    `json:"balanced,omitempty"`
 	Accelerated  bool    `json:"accelerated,omitempty"`
 	YukawaLambda float64 `json:"yukawa_lambda,omitempty"`
+	// Exec selects the evaluation execution strategy: "" (auto),
+	// "barrier", or "dag" (see kifmm.ExecMode).
+	Exec string `json:"exec,omitempty"`
+}
+
+// toExecMode maps the wire string to kifmm.ExecMode; unknown strings fall
+// back to auto (kifmm.New validates nothing further for this field).
+func toExecMode(s string) kifmm.ExecMode {
+	switch s {
+	case "barrier":
+		return kifmm.ExecBarrier
+	case "dag":
+		return kifmm.ExecDAG
+	default:
+		return kifmm.ExecAuto
+	}
 }
 
 // ToOptions maps the wire form onto kifmm.Options; zero values keep the
@@ -47,6 +63,7 @@ func (o SolverOptions) ToOptions() kifmm.Options {
 		Balanced:     o.Balanced,
 		Accelerated:  o.Accelerated,
 		YukawaLambda: o.YukawaLambda,
+		Exec:         toExecMode(o.Exec),
 	}
 }
 
@@ -139,6 +156,8 @@ func PlanKey(points [][3]float64, o SolverOptions) string {
 	wb(o.Balanced)
 	wb(o.Accelerated)
 	wf(o.YukawaLambda)
+	h.Write([]byte(o.Exec))
+	h.Write([]byte{0})
 	wi(int64(len(points)))
 	for _, p := range points {
 		wf(p[0])

@@ -9,6 +9,7 @@ import (
 	"kifmm/internal/gpu"
 	ikifmm "kifmm/internal/kifmm"
 	"kifmm/internal/octree"
+	"kifmm/internal/sched"
 	"kifmm/internal/stream"
 )
 
@@ -118,18 +119,62 @@ func (p *Plan) putEngine(eng *ikifmm.Engine) {
 	p.mu.Unlock()
 }
 
+// useDAG reports whether this plan's Apply runs the task-graph scheduler.
+// The device-accelerated path schedules its phases itself and always runs
+// the barrier sequence.
+func (p *Plan) useDAG() bool {
+	if p.f.opt.Accelerated {
+		return false
+	}
+	switch p.f.opt.Exec {
+	case ExecDAG:
+		return true
+	case ExecBarrier:
+		return false
+	default:
+		return p.f.opt.Workers > 1
+	}
+}
+
 // Apply evaluates the potentials for one density vector on the prebuilt
 // tree, returned in input point order with PotentialDim components per
 // point. It runs the full FMM phase sequence but skips tree construction,
-// list building, and operator setup.
+// list building, and operator setup. Depending on Options.Exec the phases
+// run either as the paper's barrier-separated loops or as a dependency
+// task graph on the internal scheduler (bit-identical results either way).
 func (p *Plan) Apply(densities []float64) ([]float64, error) {
+	out, _, err := p.apply(densities, nil)
+	return out, err
+}
+
+// ApplyTraced is Apply plus a Chrome trace_event capture of the scheduler's
+// execution: one timeline row per worker, one slice per per-octant task.
+// Write the returned JSON to a file and open it at chrome://tracing (or
+// ui.perfetto.dev). Tracing forces the task-graph execution path regardless
+// of Options.Exec; it errors on device-accelerated plans, whose phase
+// schedule the streaming device owns.
+func (p *Plan) ApplyTraced(densities []float64) (potentials []float64, trace []byte, err error) {
+	if p.f.opt.Accelerated {
+		return nil, nil, fmt.Errorf("kifmm: tracing requires the task-graph execution path (accelerated plans schedule phases on the device)")
+	}
+	tr := sched.NewTrace()
+	out, _, err := p.apply(densities, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, tr.JSON(), nil
+}
+
+func (p *Plan) apply(densities []float64, trace *sched.Trace) ([]float64, sched.Stats, error) {
 	if len(densities) != p.n*p.f.kern.SrcDim() {
-		return nil, fmt.Errorf("kifmm: %d densities for %d points (want %d per point)",
+		return nil, sched.Stats{}, fmt.Errorf("kifmm: %d densities for %d points (want %d per point)",
 			len(densities), p.n, p.f.kern.SrcDim())
 	}
 	eng := p.getEngine()
 	eng.SetPointDensities(densities)
-	if p.f.opt.Accelerated {
+	var stats sched.Stats
+	switch {
+	case p.f.opt.Accelerated:
 		accel := gpu.New(stream.NewDevice(stream.DefaultParams()))
 		accel.S2U(eng)
 		eng.U2U()
@@ -139,11 +184,26 @@ func (p *Plan) Apply(densities []float64) ([]float64, error) {
 		eng.WLI()
 		accel.D2T(eng)
 		accel.ULI(eng)
-	} else {
+	case p.useDAG() || trace != nil:
+		var err error
+		stats, err = eng.EvaluateDAG(trace)
+		if err != nil {
+			// A failed graph leaves the engine's state partial; drop it
+			// rather than returning it to the free list.
+			return nil, stats, fmt.Errorf("kifmm: task-graph evaluation: %w", err)
+		}
+		if prof := eng.Prof; prof != nil {
+			prof.AddCounter(diag.CounterSchedGraphs, 1)
+			prof.AddCounter(diag.CounterSchedTasks, stats.Tasks)
+			prof.AddCounter(diag.CounterSchedSteals, stats.Steals)
+			prof.AddCounter(diag.CounterSchedStolen, stats.Stolen)
+			prof.AddTime(diag.PhaseSchedIdle, stats.Idle)
+		}
+	default:
 		eng.Evaluate()
 	}
 	out := eng.PointPotentials()
 	p.putEngine(eng)
 	p.evals.Add(1)
-	return out, nil
+	return out, stats, nil
 }
