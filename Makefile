@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench sched-stress ci
+.PHONY: build vet test race bench bench-nearfield bench-smoke sched-stress ci
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# Panel vs pairwise micro-kernel comparison on the 30k ellipsoid tree
+# (BenchmarkNearField{ULI,D2T,WLI} × {laplace,stokes,yukawa}).
+bench-nearfield:
+	$(GO) test ./internal/kifmm/ -run='^$$' -bench=BenchmarkNearField -benchmem
+
+# Compile-and-run every benchmark exactly once: catches bitrot in benchmark
+# code without paying for real measurement (the -run pattern matches no
+# tests).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
 # Repeated race runs of the work-stealing scheduler (randomized-DAG
 # property tests are seeded per run, so -count=5 explores new graphs).
 sched-stress:
 	$(GO) test -race -count=5 ./internal/sched/...
 
-ci: build vet race sched-stress
+ci: build vet race sched-stress bench-smoke

@@ -89,6 +89,21 @@ func (p *Profile) AddFlops(name string, n int64) {
 	p.mu.Unlock()
 }
 
+// AddFlopsBatch adds ns[i] flops to phase names[i] for every i, under a
+// single lock acquisition. This is the flush path for code that accumulates
+// flops in local counters during a parallel phase (the engine's per-worker
+// scratch) instead of taking the profile lock per work item. Zero entries
+// are skipped so phases never touched stay absent from reports.
+func (p *Profile) AddFlopsBatch(names []string, ns []int64) {
+	p.mu.Lock()
+	for i, n := range ns {
+		if n != 0 {
+			p.flops[names[i]] += n
+		}
+	}
+	p.mu.Unlock()
+}
+
 // AddCounter adds v to the named monotonic counter. Counters carry event
 // counts that are not phase times or flops — e.g. the scheduler stats
 // (tasks run, steals) the task-graph runtime reports per evaluation.

@@ -23,36 +23,30 @@ func (a *FMMAccel) uli(e *kifmm.Engine) {
 	b := a.BlockSize
 
 	// ---- Data-structure translation: LET → flat streaming layout. ----
-	// Source side: every leaf with points, flattened once.
-	srcStart := make(map[int32]int32, len(t.Leaves))
-	var sx, sy, sz, sden []float32
-	for _, li := range t.Leaves {
-		n := &t.Nodes[li]
-		if n.NPoints() == 0 {
-			continue
-		}
-		srcStart[li] = int32(len(sx))
-		for pi := int(n.PtLo); pi < int(n.PtHi); pi++ {
-			p := t.Points[pi]
-			sx = append(sx, float32(p.X))
-			sy = append(sy, float32(p.Y))
-			sz = append(sz, float32(p.Z))
-			sden = append(sden, float32(e.Density[pi]))
-		}
-	}
+	// The density-independent part was done at plan time: the engine's
+	// shared Layout already holds every point in float32 SoA form, in tree
+	// order, so leaf li's source panel starts at Nodes[li].PtLo — a dense
+	// per-node index in place of the per-call flatten + start map this body
+	// used to rebuild on every Apply. Only the densities change per call.
+	L := e.Layout
+	sx, sy, sz := L.X32, L.Y32, L.Z32
+	sden := e.Den32()
 
-	// Target side: one device block per chunk of b target points.
+	// Target side: one device block per chunk of b target points. Targets
+	// are addressed through the same layout panels; trgBase indexes the
+	// unpadded result vector (padded lanes occupy the block but neither
+	// read nor write, as in the paper).
 	type chunk struct {
 		node    int32
 		ptBase  int32 // first point index in tree order
 		count   int32 // real targets in this chunk (≤ b)
 		listLo  int32 // range into the flattened U-list
 		listHi  int32
-		trgBase int32 // offset into target arrays
+		trgBase int32 // offset into the result vector
 	}
 	var chunks []chunk
-	var tx, ty, tz []float32
 	var ulist []int32 // flattened (srcStart, srcCount) pairs
+	ntrg := 0
 	for _, li := range t.Leaves {
 		n := &t.Nodes[li]
 		if !n.Local || n.NPoints() == 0 || len(n.U) == 0 {
@@ -64,7 +58,7 @@ func (a *FMMAccel) uli(e *kifmm.Engine) {
 			if an.NPoints() == 0 {
 				continue
 			}
-			ulist = append(ulist, srcStart[ai], int32(an.NPoints()))
+			ulist = append(ulist, an.PtLo, int32(an.NPoints()))
 		}
 		listHi := int32(len(ulist))
 		for base := 0; base < n.NPoints(); base += b {
@@ -72,32 +66,23 @@ func (a *FMMAccel) uli(e *kifmm.Engine) {
 			if cnt > b {
 				cnt = b
 			}
-			ch := chunk{
+			chunks = append(chunks, chunk{
 				node: li, ptBase: n.PtLo + int32(base), count: int32(cnt),
-				listLo: listLo, listHi: listHi, trgBase: int32(len(tx)),
-			}
-			for k := 0; k < cnt; k++ {
-				p := t.Points[int(ch.ptBase)+k]
-				tx = append(tx, float32(p.X))
-				ty = append(ty, float32(p.Y))
-				tz = append(tz, float32(p.Z))
-			}
-			// Pad to the block size (the padded lanes compute nothing but
-			// occupy the block, as in the paper).
-			for k := cnt; k < b; k++ {
-				tx = append(tx, 0)
-				ty = append(ty, 0)
-				tz = append(tz, 0)
-			}
-			chunks = append(chunks, ch)
+				listLo: listLo, listHi: listHi, trgBase: int32(ntrg),
+			})
+			ntrg += cnt
 		}
 	}
 	if len(chunks) == 0 {
 		return
 	}
-	f := make([]float32, len(tx))
+	f := make([]float32, ntrg)
 
-	translation := int64(4 * (len(sx)*4 + len(tx)*3 + len(ulist) + len(f)))
+	// Per-call transfer: the densities (the only per-Apply data), the
+	// U-list ranges, and the result vector. The coordinate panels are part
+	// of the plan-resident layout; count them once per call as uploaded
+	// alongside (the stream model has no persistent device allocations).
+	translation := int64(4 * (len(sden)*4 + len(ulist) + len(f)))
 	a.TranslationBytes += translation
 	a.Dev.H2D(int(translation))
 
@@ -134,8 +119,8 @@ func (a *FMMAccel) uli(e *kifmm.Engine) {
 					if int32(tid) >= ch.count {
 						return
 					}
-					g := ch.trgBase + int32(tid)
-					x, y, z := tx[g], ty[g], tz[g]
+					g := ch.ptBase + int32(tid)
+					x, y, z := sx[g], sy[g], sz[g]
 					s := acc[tid]
 					for j := int32(0); j < tlen; j++ {
 						s += kernel.LaplaceEval32(x, y, z,

@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/geom"
+)
+
+// evalOnly hides any Batch implementation of the wrapped kernel, so
+// AsBatch must fall back to the generic pairwise adapter.
+type evalOnly struct{ Kernel }
+
+// batchKernels are the kernels with native EvalPanel implementations.
+func batchKernels() []Kernel {
+	return []Kernel{Laplace{}, Stokes{}, Yukawa{Lambda: 1.3}}
+}
+
+// randPanel draws n points in the unit cube in SoA form.
+func randPanel(rng *rand.Rand, n int) (x, y, z []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	z = make([]float64, n)
+	for i := range x {
+		x[i], y[i], z[i] = rng.Float64(), rng.Float64(), rng.Float64()
+	}
+	return
+}
+
+// pairwise computes the reference result with per-pair Eval calls into a
+// zero output (the same accumulation order EvalPanel documents).
+func pairwise(k Kernel, tx, ty, tz, sx, sy, sz, den []float64) []float64 {
+	sd, td := k.SrcDim(), k.TrgDim()
+	out := make([]float64, len(tx)*td)
+	for i := range tx {
+		t := geom.Point{X: tx[i], Y: ty[i], Z: tz[i]}
+		for j := range sx {
+			s := geom.Point{X: sx[j], Y: sy[j], Z: sz[j]}
+			k.Eval(t, s, den[j*sd:(j+1)*sd], out[i*td:(i+1)*td])
+		}
+	}
+	return out
+}
+
+// TestAsBatchNative checks that the built-in kernels are their own Batch.
+func TestAsBatchNative(t *testing.T) {
+	for _, k := range batchKernels() {
+		if _, ok := AsBatch(k).(genericBatch); ok {
+			t.Errorf("%s: AsBatch fell back to the generic adapter", k.Name())
+		}
+	}
+	if _, ok := AsBatch(evalOnly{Laplace{}}).(genericBatch); !ok {
+		t.Errorf("AsBatch of a plain Kernel should return the generic adapter")
+	}
+}
+
+// TestEvalPanelMatchesEval is the core property: on a zero-start output,
+// EvalPanel is bit-identical to the pairwise Eval reference, for every
+// kernel, including panels containing coincident (singular) pairs, and
+// regardless of the selfOffset hint.
+func TestEvalPanelMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range batchKernels() {
+		b := AsBatch(k)
+		sd, td := k.SrcDim(), k.TrgDim()
+		for trial := 0; trial < 50; trial++ {
+			nt, ns := 1+rng.Intn(40), 1+rng.Intn(40)
+			tx, ty, tz := randPanel(rng, nt)
+			sx, sy, sz := randPanel(rng, ns)
+			// Plant coincident pairs: some sources equal some targets.
+			for c := 0; c < 5 && c < nt && c < ns; c++ {
+				i, j := rng.Intn(nt), rng.Intn(ns)
+				sx[j], sy[j], sz[j] = tx[i], ty[i], tz[i]
+			}
+			den := make([]float64, ns*sd)
+			for i := range den {
+				den[i] = rng.NormFloat64()
+			}
+			want := pairwise(k, tx, ty, tz, sx, sy, sz, den)
+			for _, selfOff := range []int{-1, 0, 3, ns + 7} {
+				got := make([]float64, nt*td)
+				b.EvalPanel(tx, ty, tz, sx, sy, sz, den, got, selfOff)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s trial %d selfOffset %d: out[%d] = %v, want %v (bitwise)",
+							k.Name(), trial, selfOff, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPanelSelfPanel evaluates a panel against itself (the U-list self
+// interaction): every diagonal pair is singular and must contribute zero,
+// with either value of the selfOffset hint.
+func TestEvalPanelSelfPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range batchKernels() {
+		b := AsBatch(k)
+		sd, td := k.SrcDim(), k.TrgDim()
+		n := 33
+		px, py, pz := randPanel(rng, n)
+		den := make([]float64, n*sd)
+		for i := range den {
+			den[i] = rng.NormFloat64()
+		}
+		want := pairwise(k, px, py, pz, px, py, pz, den)
+		for _, selfOff := range []int{0, -1} {
+			got := make([]float64, n*td)
+			b.EvalPanel(px, py, pz, px, py, pz, den, got, selfOff)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s selfOffset %d: out[%d] = %v, want %v", k.Name(), selfOff, i, got[i], want[i])
+				}
+				if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+					t.Fatalf("%s: singular pair leaked: out[%d] = %v", k.Name(), i, got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPanelAccumulates checks EvalPanel adds to a nonzero output: the
+// panel contribution equals the zero-start result (one rounding is allowed
+// on the final add, so compare the difference against the panel sum).
+func TestEvalPanelAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range batchKernels() {
+		b := AsBatch(k)
+		sd, td := k.SrcDim(), k.TrgDim()
+		nt, ns := 9, 17
+		tx, ty, tz := randPanel(rng, nt)
+		sx, sy, sz := randPanel(rng, ns)
+		den := make([]float64, ns*sd)
+		for i := range den {
+			den[i] = rng.NormFloat64()
+		}
+		zeroStart := make([]float64, nt*td)
+		b.EvalPanel(tx, ty, tz, sx, sy, sz, den, zeroStart, -1)
+		got := make([]float64, nt*td)
+		for i := range got {
+			got[i] = float64(i) - 3.5
+		}
+		b.EvalPanel(tx, ty, tz, sx, sy, sz, den, got, -1)
+		for i := range got {
+			want := (float64(i) - 3.5) + zeroStart[i]
+			if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("%s: accumulate out[%d] = %v, want %v", k.Name(), i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestEvalPanelEmpty checks the degenerate panel shapes: no targets, no
+// sources, or both. The output must be untouched and nothing may panic.
+func TestEvalPanelEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range batchKernels() {
+		b := AsBatch(k)
+		sd, td := k.SrcDim(), k.TrgDim()
+		px, py, pz := randPanel(rng, 4)
+		den := make([]float64, 4*sd)
+		// No sources: output stays as initialized.
+		out := make([]float64, 4*td)
+		for i := range out {
+			out[i] = 5
+		}
+		b.EvalPanel(px, py, pz, nil, nil, nil, nil, out, -1)
+		for i := range out {
+			if out[i] != 5 {
+				t.Fatalf("%s: empty source panel wrote output", k.Name())
+			}
+		}
+		// No targets.
+		b.EvalPanel(nil, nil, nil, px, py, pz, den, nil, 0)
+		// Neither.
+		b.EvalPanel(nil, nil, nil, nil, nil, nil, nil, nil, 0)
+	}
+}
+
+// TestGenericBatchMatchesNative checks the generic fallback and the native
+// panels agree bitwise on zero-start outputs, so a kernel gains nothing but
+// speed from implementing Batch.
+func TestGenericBatchMatchesNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, k := range batchKernels() {
+		native := AsBatch(k)
+		fallback := AsBatch(evalOnly{k})
+		sd, td := k.SrcDim(), k.TrgDim()
+		nt, ns := 21, 13
+		tx, ty, tz := randPanel(rng, nt)
+		sx, sy, sz := randPanel(rng, ns)
+		sx[2], sy[2], sz[2] = tx[5], ty[5], tz[5] // one singular pair
+		den := make([]float64, ns*sd)
+		for i := range den {
+			den[i] = rng.NormFloat64()
+		}
+		a := make([]float64, nt*td)
+		g := make([]float64, nt*td)
+		native.EvalPanel(tx, ty, tz, sx, sy, sz, den, a, -1)
+		fallback.EvalPanel(tx, ty, tz, sx, sy, sz, den, g, -1)
+		for i := range a {
+			if a[i] != g[i] {
+				t.Fatalf("%s: native %v != generic %v at %d", k.Name(), a[i], g[i], i)
+			}
+		}
+	}
+}
+
+// TestNanZero pins the Algorithm 4 identity the panel kernels rely on.
+func TestNanZero(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.5, 1.5}, {-2.25, -2.25}, {0, 0},
+		{math.Inf(1), 0}, {math.Inf(-1), 0}, {math.NaN(), 0},
+		{math.MaxFloat64, math.MaxFloat64},
+	}
+	for _, c := range cases {
+		if got := nanZero(c.in); got != c.want {
+			t.Errorf("nanZero(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"kifmm/internal/geom"
 	"kifmm/internal/linalg"
+	"kifmm/internal/par"
 )
 
 // Kernel is a translation-invariant, non-oscillatory interaction kernel
@@ -137,19 +138,25 @@ func Matrix(k Kernel, trgs, srcs []geom.Point) *linalg.Mat {
 
 // Direct computes the exact O(N²) sum f_i = Σ_j K(x_i, y_j) s_j, skipping
 // singular pairs. densities has len(srcs)·SrcDim entries; the result has
-// len(trgs)·TrgDim entries.
+// len(trgs)·TrgDim entries. Targets are evaluated in parallel; each
+// target's sum accumulates in ascending source order regardless of the
+// worker count, so the output is deterministic — Direct stays a trustworthy
+// oracle for the differential tests while no longer dominating their
+// wall-clock. It intentionally stays on the pairwise Eval path, independent
+// of the batched EvalPanel implementations it is used to check.
 func Direct(k Kernel, trgs, srcs []geom.Point, densities []float64) []float64 {
 	td, sd := k.TrgDim(), k.SrcDim()
 	if len(densities) != len(srcs)*sd {
 		panic("kernel: density length mismatch")
 	}
 	out := make([]float64, len(trgs)*td)
-	for i, t := range trgs {
+	par.For(par.DefaultWorkers(), len(trgs), func(i int) {
+		t := trgs[i]
 		o := out[i*td : (i+1)*td]
 		for j, s := range srcs {
 			k.Eval(t, s, densities[j*sd:(j+1)*sd], o)
 		}
-	}
+	})
 	return out
 }
 

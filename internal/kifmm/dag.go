@@ -39,18 +39,23 @@ import (
 // (the scheduler fails the graph instead of deadlocking).
 func (e *Engine) EvaluateDAG(trace *sched.Trace) (sched.Stats, error) {
 	defer e.timed(diag.PhaseTotalEval)()
+	e.ensureScratch(e.dagWorkers())
 	g := e.buildDAG()
-	return g.Run(sched.Options{Workers: e.Workers, Trace: trace})
+	stats, err := g.Run(sched.Options{Workers: e.Workers, Trace: trace})
+	e.flushFlops()
+	return stats, err
 }
 
-// task wraps a per-octant body with the phase timer. In the barrier path
-// each phase is timed once around its par.For; here each task adds its own
-// duration, so DAG phase times aggregate CPU time across workers rather
+// task wraps a per-octant body with the phase timer and the executing
+// worker's scratch (the scheduler guarantees worker indices are exclusive,
+// so e.scratch[w] is owned for the duration of the task). In the barrier
+// path each phase is timed once around its par.For; here each task adds its
+// own duration, so DAG phase times aggregate CPU time across workers rather
 // than phase wall time (flop counts are identical in both paths).
-func dagTask(g *sched.Graph, e *Engine, name string, pri sched.Priority, phase string, fn func(int32), i int32) sched.TaskID {
-	return g.Add(name, pri, func() {
+func dagTask(g *sched.Graph, e *Engine, name string, pri sched.Priority, phase string, fn func(int32, *evalScratch), i int32) sched.TaskID {
+	return g.AddW(name, pri, func(w int) {
 		stop := e.timed(phase)
-		fn(i)
+		fn(i, e.scratch[w])
 		stop()
 	})
 }
@@ -115,7 +120,7 @@ func (e *Engine) buildDAG() *sched.Graph {
 				continue
 			}
 			vTask[i] = dagTask(g, e, "V", sched.PriHigh, diag.PhaseVList,
-				func(i int32) { e.vliDenseNode(i, nil) }, int32(i))
+				func(i int32, s *evalScratch) { e.vliDenseNode(i, nil, s) }, int32(i))
 			for _, a := range n.V {
 				if uTask[a] != sched.NoTask {
 					g.Dep(uTask[a], vTask[i])
@@ -228,7 +233,7 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 			continue
 		}
 		vTask[i] = dagTask(g, e, "Vfft", sched.PriHigh, diag.PhaseVList,
-			func(i int32) { e.vliFFTNode(i, f, spec, refs) }, int32(i))
+			func(i int32, s *evalScratch) { e.vliFFTNode(i, f, spec, refs, s) }, int32(i))
 		for _, a := range n.V {
 			g.Dep(specTask[a], vTask[i])
 		}
@@ -237,10 +242,11 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 
 // vliFFTNode is the per-target FFT V-list body: Hadamard-accumulate every
 // V source's spectrum (in V-list order, as the barrier path does within a
-// block), inverse-transform, and add into e.DChk[i]. Afterwards it drops
-// the refcount of each consumed spectrum, freeing it on zero; the atomic
+// block) into the worker's reusable frequency-space accumulator,
+// inverse-transform, and add into e.DChk[i]. Afterwards it drops the
+// refcount of each consumed spectrum, freeing it on zero; the atomic
 // decrement orders the release after every other consumer's reads.
-func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][][]complex128, refs []int32) {
+func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][][]complex128, refs []int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
 	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
@@ -248,15 +254,12 @@ func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][][]complex128, refs []in
 	if !e.Ops.Homogeneous() {
 		tfLevel = n.Key.Level()
 	}
-	acc := make([][]complex128, td)
-	for x := range acc {
-		acc[x] = make([]complex128, f.GridLen())
-	}
+	acc := s.fftAcc(td, f.GridLen())
 	for _, a := range n.V {
 		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
 		tf := f.TranslationAt(tfLevel, dx, dy, dz)
 		Hadamard(acc, tf, spec[a], sd)
-		e.addFlops(diag.PhaseVList, int64(8*td*sd*f.GridLen()))
+		s.flops[fpVList] += int64(8 * td * sd * f.GridLen())
 	}
 	scale := e.Ops.KernScale(n.Key.Level())
 	f.ExtractCheck(acc, scale, e.DChk[i])

@@ -2,9 +2,10 @@ package kifmm
 
 import (
 	"fmt"
+	"runtime"
 
 	"kifmm/internal/diag"
-	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
 	"kifmm/internal/morton"
 	"kifmm/internal/octree"
 	"kifmm/internal/par"
@@ -25,9 +26,19 @@ import (
 // (EvaluateDAG), which replaces the phase barriers with per-octant
 // dependencies. Because both run the identical per-octant arithmetic in the
 // identical accumulation order, their results are bit-identical.
+//
+// The near-field bodies run on the batched kernel.Batch panel evaluator
+// over the plan-time streaming Layout: a leaf's sources and targets are
+// contiguous SoA panels, surfaces are filled from per-level offset grids
+// into per-worker scratch, and flops accumulate in per-worker counters
+// flushed once per phase — no per-pair dynamic dispatch, no per-leaf
+// allocation, no per-leaf profile locking.
 type Engine struct {
 	Ops  *Operators
 	Tree *octree.Tree
+	// Layout is the plan-time streaming translation of the tree, shared
+	// read-only by every engine of a plan.
+	Layout *Layout
 	// UseFFTM2L selects the FFT-diagonalized V-list translation instead of
 	// dense M2L matrices.
 	UseFFTM2L bool
@@ -49,19 +60,40 @@ type Engine struct {
 	// Potential holds per-point results aligned with Tree.Points (TrgDim
 	// components per point).
 	Potential []float64
+
+	// bk is the kernel's batched panel evaluator, resolved once so the
+	// phase bodies pay one indirect call per panel instead of one dynamic
+	// Kernel.Eval dispatch per source-target pair.
+	bk kernel.Batch
+	// scratch holds one evaluation scratch per worker (ensureScratch).
+	scratch []*evalScratch
+	// den32 is the reused single-precision density buffer of Den32.
+	den32 []float32
 }
 
-// NewEngine allocates evaluation state for the tree.
+// NewEngine allocates evaluation state for the tree, building a private
+// streaming Layout. Callers that evaluate one tree repeatedly or
+// concurrently (Plan.Apply) should build the Layout once and share it via
+// NewEngineLayout.
 func NewEngine(ops *Operators, tree *octree.Tree) *Engine {
+	return NewEngineLayout(ops, tree, NewLayout(tree, ops))
+}
+
+// NewEngineLayout allocates evaluation state for the tree on a shared,
+// read-only streaming layout (which must have been built from the same tree
+// and operators).
+func NewEngineLayout(ops *Operators, tree *octree.Tree, layout *Layout) *Engine {
 	e := &Engine{
 		Ops:       ops,
 		Tree:      tree,
+		Layout:    layout,
 		Workers:   1,
 		U:         make([][]float64, len(tree.Nodes)),
 		D:         make([][]float64, len(tree.Nodes)),
 		DChk:      make([][]float64, len(tree.Nodes)),
 		Density:   make([]float64, len(tree.Points)*ops.Kern.SrcDim()),
 		Potential: make([]float64, len(tree.Points)*ops.Kern.TrgDim()),
+		bk:        kernel.AsBatch(ops.Kern),
 	}
 	ul, cl := ops.UpwardLen(), ops.CheckLen()
 	for i := range tree.Nodes {
@@ -88,10 +120,110 @@ func zero(v []float64) {
 	}
 }
 
-func (e *Engine) addFlops(phase string, n int64) {
-	if e.Prof != nil {
-		e.Prof.AddFlops(phase, n)
+// Flop-accumulator indices of the per-worker scratch counters; flushFlops
+// maps them back to diag phase names.
+const (
+	fpUpward = iota
+	fpVList
+	fpXList
+	fpWList
+	fpDownward
+	fpUList
+	numFlopPhase
+)
+
+var flopPhaseName = [numFlopPhase]string{
+	diag.PhaseUpward, diag.PhaseVList, diag.PhaseXList,
+	diag.PhaseWList, diag.PhaseDownward, diag.PhaseUList,
+}
+
+// evalScratch is one worker's reusable evaluation state: surface coordinate
+// panels, check/equivalent temporaries, the FFT V-list accumulator, and the
+// per-phase flop counters. One scratch is owned by at most one worker at a
+// time (par.ForW and sched.AddW guarantee worker indices are exclusive), so
+// the bodies run without locks and without per-octant allocation.
+type evalScratch struct {
+	chk        []float64 // CheckLen: check potentials / MulVec temporary
+	up         []float64 // UpwardLen: equivalent-density temporary
+	sx, sy, sz []float64 // NumSurf: surface coordinate panel
+	cacc       [][]complex128
+	flops      [numFlopPhase]int64
+}
+
+// surf returns the scratch surface panel slices.
+func (s *evalScratch) surf() (sx, sy, sz []float64) { return s.sx, s.sy, s.sz }
+
+// fftAcc returns the zeroed frequency-space accumulator (td grids of n
+// entries), reusing the previous allocation when the shape matches.
+func (s *evalScratch) fftAcc(td, n int) [][]complex128 {
+	if len(s.cacc) != td || (td > 0 && len(s.cacc[0]) != n) {
+		s.cacc = make([][]complex128, td)
+		for i := range s.cacc {
+			s.cacc[i] = make([]complex128, n)
+		}
+		return s.cacc
 	}
+	for i := range s.cacc {
+		g := s.cacc[i]
+		for j := range g {
+			g[j] = 0
+		}
+	}
+	return s.cacc
+}
+
+// ensureScratch returns the per-worker scratch slice, growing it to at
+// least n entries. Scratches persist across phases and Apply calls, so the
+// near-field bodies allocate O(workers) once per engine, not per call.
+func (e *Engine) ensureScratch(n int) []*evalScratch {
+	if n < 1 {
+		n = 1
+	}
+	for len(e.scratch) < n {
+		ns := e.Ops.NumSurf()
+		e.scratch = append(e.scratch, &evalScratch{
+			chk: make([]float64, e.Ops.CheckLen()),
+			up:  make([]float64, e.Ops.UpwardLen()),
+			sx:  make([]float64, ns),
+			sy:  make([]float64, ns),
+			sz:  make([]float64, ns),
+		})
+	}
+	return e.scratch
+}
+
+// barrierWorkers is the worker count of the bulk-synchronous phase loops.
+func (e *Engine) barrierWorkers() int {
+	if e.Workers < 1 {
+		return 1
+	}
+	return e.Workers
+}
+
+// dagWorkers mirrors the scheduler's Options.Workers resolution.
+func (e *Engine) dagWorkers() int {
+	if e.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Workers
+}
+
+// flushFlops moves the per-worker flop counters into the profile under a
+// single lock — the once-per-phase flush that replaces per-octant profile
+// locking. Counters are zeroed even without a profile so a later
+// SetProfile-style attach cannot observe stale counts.
+func (e *Engine) flushFlops() {
+	var tot [numFlopPhase]int64
+	for _, s := range e.scratch {
+		for i, n := range s.flops {
+			tot[i] += n
+			s.flops[i] = 0
+		}
+	}
+	if e.Prof == nil {
+		return
+	}
+	e.Prof.AddFlopsBatch(flopPhaseName[:], tot[:])
 }
 
 func (e *Engine) timed(phase string) func() {
@@ -101,58 +233,47 @@ func (e *Engine) timed(phase string) func() {
 	return e.Prof.Start(phase)
 }
 
-// nodeCenterRad returns the octant center and the half-side of node i.
-func (e *Engine) nodeCenterRad(i int32) (geom.Point, float64) {
-	k := e.Tree.Nodes[i].Key
-	x, y, z := k.Center()
-	return geom.Point{X: x, Y: y, Z: z}, k.Side() / 2
-}
-
-// upwardSurface returns node i's upward-equivalent surface points.
-func (e *Engine) upwardSurface(i int32) []geom.Point {
-	c, h := e.nodeCenterRad(i)
-	return e.Ops.Grid.Points(c, RadInner*h)
-}
-
 // S2U computes upward-equivalent densities of every local leaf from its
 // source points: evaluate the sources on the upward-check surface, then
 // solve to the equivalent surface (step 1 of Algorithm 1).
 func (e *Engine) S2U() {
 	defer e.timed(diag.PhaseUpward)()
 	t := e.Tree
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		e.s2uLeaf(t.Leaves[li])
+	sc := e.ensureScratch(e.barrierWorkers())
+	par.ForW(e.Workers, len(t.Leaves), func(w, li int) {
+		e.s2uLeaf(t.Leaves[li], sc[w])
 	})
+	e.flushFlops()
 }
 
 // s2uLeaf is the per-octant S2U body: writes e.U[i] from leaf i's points.
-func (e *Engine) s2uLeaf(i int32) {
+// The leaf's sources are a contiguous SoA panel of the layout; the
+// upward-check surface is filled into worker scratch from the per-level
+// offset grid.
+func (e *Engine) s2uLeaf(i int32, s *evalScratch) {
 	t := e.Tree
-	kern := e.Ops.Kern
-	sd := kern.SrcDim()
 	n := &t.Nodes[i]
 	if !n.Local || n.NPoints() == 0 {
 		return
 	}
-	c, h := e.nodeCenterRad(i)
-	uc := e.Ops.Grid.Points(c, RadOuter*h)
-	chk := make([]float64, e.Ops.CheckLen())
-	pts := t.LeafPoints(i)
-	td := kern.TrgDim()
-	for pi, p := range pts {
-		den := e.Density[(int(n.PtLo)+pi)*sd : (int(n.PtLo)+pi+1)*sd]
-		for ci, cp := range uc {
-			kern.Eval(cp, p, den, chk[ci*td:(ci+1)*td])
-		}
-	}
+	L := e.Layout
+	sd := e.Ops.Kern.SrcDim()
+	ux, uy, uz := s.surf()
+	L.OuterSurf(i, ux, uy, uz)
+	chk := s.chk
+	zero(chk)
+	lo, hi := int(n.PtLo), int(n.PtHi)
+	e.bk.EvalPanel(ux, uy, uz, L.PX[lo:hi], L.PY[lo:hi], L.PZ[lo:hi],
+		e.Density[lo*sd:hi*sd], chk, -1)
 	m, scale := e.Ops.S2UOp(n.Key.Level())
-	tmp := make([]float64, e.Ops.UpwardLen())
+	tmp := s.up
 	m.MulVec(tmp, chk)
+	u := e.U[i]
 	for x := range tmp {
-		e.U[i][x] += scale * tmp[x]
+		u[x] += scale * tmp[x]
 	}
-	e.addFlops(diag.PhaseUpward, int64(len(pts)*len(uc)*kern.FlopsPerInteraction())+
-		2*int64(m.Rows*m.Cols))
+	s.flops[fpUpward] += int64((hi-lo)*len(ux)*e.Ops.Kern.FlopsPerInteraction()) +
+		2*int64(m.Rows*m.Cols)
 }
 
 // U2U accumulates child upward densities into parents, finest level first
@@ -160,17 +281,19 @@ func (e *Engine) s2uLeaf(i int32) {
 func (e *Engine) U2U() {
 	defer e.timed(diag.PhaseUpward)()
 	byLevel := e.nodesByLevel()
+	sc := e.ensureScratch(e.barrierWorkers())
 	for l := len(byLevel) - 1; l >= 0; l-- {
 		nodes := byLevel[l]
-		par.For(e.Workers, len(nodes), func(ni int) {
-			e.u2uNode(nodes[ni])
+		par.ForW(e.Workers, len(nodes), func(w, ni int) {
+			e.u2uNode(nodes[ni], sc[w])
 		})
 	}
+	e.flushFlops()
 }
 
 // u2uNode is the per-octant U2U body: accumulates node i's children into
 // e.U[i]. Requires every child's U to be final.
-func (e *Engine) u2uNode(i int32) {
+func (e *Engine) u2uNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
 	if n.IsLeaf {
@@ -182,7 +305,7 @@ func (e *Engine) u2uNode(i int32) {
 		}
 		m := e.Ops.U2UOp(n.Key.Level(), ci)
 		m.MulVecAdd(e.U[i], e.U[cj])
-		e.addFlops(diag.PhaseUpward, 2*int64(m.Rows*m.Cols))
+		s.flops[fpUpward] += 2 * int64(m.Rows*m.Cols)
 	}
 }
 
@@ -199,25 +322,27 @@ func (e *Engine) VLI() { e.VLIFiltered(nil) }
 // runs afterwards.
 func (e *Engine) VLIFiltered(srcSel func(i int32) bool) {
 	defer e.timed(diag.PhaseVList)()
+	sc := e.ensureScratch(e.barrierWorkers())
 	if e.UseFFTM2L {
-		e.vliFFT(srcSel)
-		return
+		e.vliFFT(srcSel, sc)
+	} else {
+		t := e.Tree
+		par.ForW(e.Workers, len(t.Nodes), func(w, i int) {
+			e.vliDenseNode(int32(i), srcSel, sc[w])
+		})
 	}
-	t := e.Tree
-	par.For(e.Workers, len(t.Nodes), func(i int) {
-		e.vliDenseNode(int32(i), srcSel)
-	})
+	e.flushFlops()
 }
 
 // vliDenseNode is the per-octant dense V-list body: accumulates every
 // selected source's M2L translation into e.DChk[i], in V-list order.
-func (e *Engine) vliDenseNode(i int32, srcSel func(i int32) bool) {
+func (e *Engine) vliDenseNode(i int32, srcSel func(i int32) bool, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
 	if len(n.V) == 0 {
 		return
 	}
-	tmp := make([]float64, e.Ops.CheckLen())
+	tmp := s.chk
 	for _, a := range n.V {
 		if srcSel != nil && !srcSel(a) {
 			continue
@@ -228,7 +353,7 @@ func (e *Engine) vliDenseNode(i int32, srcSel func(i int32) bool) {
 		for x := range tmp {
 			e.DChk[i][x] += scale * tmp[x]
 		}
-		e.addFlops(diag.PhaseVList, 2*int64(m.Rows*m.Cols))
+		s.flops[fpVList] += 2 * int64(m.Rows*m.Cols)
 	}
 }
 
@@ -246,37 +371,35 @@ func dirBetween(src, trg morton.Key) (int, int, int) {
 func (e *Engine) XLI() {
 	defer e.timed(diag.PhaseXList)()
 	t := e.Tree
-	par.For(e.Workers, len(t.Nodes), func(i int) {
-		e.xliNode(int32(i))
+	sc := e.ensureScratch(e.barrierWorkers())
+	par.ForW(e.Workers, len(t.Nodes), func(w, i int) {
+		e.xliNode(int32(i), sc[w])
 	})
+	e.flushFlops()
 }
 
 // xliNode is the per-octant X-list body: accumulates X-list source points
 // into e.DChk[i]. Must run after node i's V-list contributions (the barrier
 // path orders the whole phases; the DAG chains the two tasks per octant).
-func (e *Engine) xliNode(i int32) {
+func (e *Engine) xliNode(i int32, s *evalScratch) {
 	t := e.Tree
-	kern := e.Ops.Kern
-	sd, td := kern.SrcDim(), kern.TrgDim()
 	n := &t.Nodes[i]
 	if len(n.X) == 0 {
 		return
 	}
-	c, h := e.nodeCenterRad(i)
-	dc := e.Ops.Grid.Points(c, RadInner*h)
+	L := e.Layout
+	sd := e.Ops.Kern.SrcDim()
+	dx, dy, dz := s.surf()
+	L.InnerSurf(i, dx, dy, dz)
 	var pairs int
 	for _, a := range n.X {
 		an := &t.Nodes[a]
-		pts := t.LeafPoints(a)
-		for pi, p := range pts {
-			den := e.Density[(int(an.PtLo)+pi)*sd : (int(an.PtLo)+pi+1)*sd]
-			for ci, cp := range dc {
-				kern.Eval(cp, p, den, e.DChk[i][ci*td:(ci+1)*td])
-			}
-		}
-		pairs += len(pts) * len(dc)
+		lo, hi := int(an.PtLo), int(an.PtHi)
+		e.bk.EvalPanel(dx, dy, dz, L.PX[lo:hi], L.PY[lo:hi], L.PZ[lo:hi],
+			e.Density[lo*sd:hi*sd], e.DChk[i], -1)
+		pairs += (hi - lo) * len(dx)
 	}
-	e.addFlops(diag.PhaseXList, int64(pairs*kern.FlopsPerInteraction()))
+	s.flops[fpXList] += int64(pairs * e.Ops.Kern.FlopsPerInteraction())
 }
 
 // Downward runs the downward pass (step 4): top-down, each local octant
@@ -285,18 +408,20 @@ func (e *Engine) xliNode(i int32) {
 func (e *Engine) Downward() {
 	defer e.timed(diag.PhaseDownward)()
 	byLevel := e.nodesByLevel()
+	sc := e.ensureScratch(e.barrierWorkers())
 	for l := 0; l < len(byLevel); l++ {
 		nodes := byLevel[l]
-		par.For(e.Workers, len(nodes), func(ni int) {
-			e.downwardNode(nodes[ni])
+		par.ForW(e.Workers, len(nodes), func(w, ni int) {
+			e.downwardNode(nodes[ni], sc[w])
 		})
 	}
+	e.flushFlops()
 }
 
 // downwardNode is the per-octant downward body: shifts the parent's
 // downward field into e.DChk[i] and solves for e.D[i]. Requires the
 // parent's D to be final and all of node i's V/X contributions done.
-func (e *Engine) downwardNode(i int32) {
+func (e *Engine) downwardNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
 	if !n.Local {
@@ -305,20 +430,21 @@ func (e *Engine) downwardNode(i int32) {
 	if n.Parent != octree.NoNode {
 		ci := n.Key.ChildIndex()
 		m, scale := e.Ops.D2DOp(n.Key.Level()-1, ci)
-		tmp := make([]float64, e.Ops.CheckLen())
+		tmp := s.chk
 		m.MulVec(tmp, e.D[n.Parent])
 		for x := range tmp {
 			e.DChk[i][x] += scale * tmp[x]
 		}
-		e.addFlops(diag.PhaseDownward, 2*int64(m.Rows*m.Cols))
+		s.flops[fpDownward] += 2 * int64(m.Rows*m.Cols)
 	}
 	pm, pscale := e.Ops.DC2DEOp(n.Key.Level())
-	tmp2 := make([]float64, e.Ops.UpwardLen())
+	tmp2 := s.up
 	pm.MulVec(tmp2, e.DChk[i])
+	d := e.D[i]
 	for x := range tmp2 {
-		e.D[i][x] += pscale * tmp2[x]
+		d[x] += pscale * tmp2[x]
 	}
-	e.addFlops(diag.PhaseDownward, 2*int64(pm.Rows*pm.Cols))
+	s.flops[fpDownward] += 2 * int64(pm.Rows*pm.Cols)
 }
 
 // WLI evaluates W-list upward-equivalent fields at local leaf targets
@@ -326,35 +452,36 @@ func (e *Engine) downwardNode(i int32) {
 func (e *Engine) WLI() {
 	defer e.timed(diag.PhaseWList)()
 	t := e.Tree
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		e.wliLeaf(t.Leaves[li])
+	sc := e.ensureScratch(e.barrierWorkers())
+	par.ForW(e.Workers, len(t.Leaves), func(w, li int) {
+		e.wliLeaf(t.Leaves[li], sc[w])
 	})
+	e.flushFlops()
 }
 
 // wliLeaf is the per-leaf W-list body: accumulates W sources'
-// upward-equivalent fields into leaf i's potentials.
-func (e *Engine) wliLeaf(i int32) {
+// upward-equivalent fields into leaf i's potentials. Each W source's
+// upward-equivalent surface is filled into worker scratch and evaluated as
+// one source panel against the leaf's target panel.
+func (e *Engine) wliLeaf(i int32, s *evalScratch) {
 	t := e.Tree
-	kern := e.Ops.Kern
-	sd, td := kern.SrcDim(), kern.TrgDim()
 	n := &t.Nodes[i]
 	if len(n.W) == 0 || n.NPoints() == 0 {
 		return
 	}
-	trgs := t.LeafPoints(i)
+	L := e.Layout
+	td := e.Ops.Kern.TrgDim()
+	lo, hi := int(n.PtLo), int(n.PtHi)
+	tx, ty, tz := L.PX[lo:hi], L.PY[lo:hi], L.PZ[lo:hi]
+	out := e.Potential[lo*td : hi*td]
+	ux, uy, uz := s.surf()
 	var pairs int
 	for _, a := range n.W {
-		ue := e.upwardSurface(a)
-		ua := e.U[a]
-		for pi, p := range trgs {
-			out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
-			for si, sp := range ue {
-				kern.Eval(p, sp, ua[si*sd:(si+1)*sd], out)
-			}
-		}
-		pairs += len(trgs) * len(ue)
+		L.InnerSurf(a, ux, uy, uz)
+		e.bk.EvalPanel(tx, ty, tz, ux, uy, uz, e.U[a], out, -1)
+		pairs += (hi - lo) * len(ux)
 	}
-	e.addFlops(diag.PhaseWList, int64(pairs*kern.FlopsPerInteraction()))
+	s.flops[fpWList] += int64(pairs * e.Ops.Kern.FlopsPerInteraction())
 }
 
 // D2T evaluates each local leaf's downward-equivalent field at its own
@@ -362,32 +489,30 @@ func (e *Engine) wliLeaf(i int32) {
 func (e *Engine) D2T() {
 	defer e.timed(diag.PhaseDownward)()
 	t := e.Tree
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		e.d2tLeaf(t.Leaves[li])
+	sc := e.ensureScratch(e.barrierWorkers())
+	par.ForW(e.Workers, len(t.Leaves), func(w, li int) {
+		e.d2tLeaf(t.Leaves[li], sc[w])
 	})
+	e.flushFlops()
 }
 
 // d2tLeaf is the per-leaf D2T body: adds leaf i's own downward field to its
 // potentials. Must run after the leaf's WLI contributions (accumulation
 // order) and its downward solve.
-func (e *Engine) d2tLeaf(i int32) {
+func (e *Engine) d2tLeaf(i int32, s *evalScratch) {
 	t := e.Tree
-	kern := e.Ops.Kern
-	sd, td := kern.SrcDim(), kern.TrgDim()
 	n := &t.Nodes[i]
 	if !n.Local || n.NPoints() == 0 {
 		return
 	}
-	c, h := e.nodeCenterRad(i)
-	de := e.Ops.Grid.Points(c, RadOuter*h)
-	trgs := t.LeafPoints(i)
-	for pi, p := range trgs {
-		out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
-		for si, sp := range de {
-			kern.Eval(p, sp, e.D[i][si*sd:(si+1)*sd], out)
-		}
-	}
-	e.addFlops(diag.PhaseDownward, int64(len(trgs)*len(de)*kern.FlopsPerInteraction()))
+	L := e.Layout
+	td := e.Ops.Kern.TrgDim()
+	dx, dy, dz := s.surf()
+	L.OuterSurf(i, dx, dy, dz)
+	lo, hi := int(n.PtLo), int(n.PtHi)
+	e.bk.EvalPanel(L.PX[lo:hi], L.PY[lo:hi], L.PZ[lo:hi], dx, dy, dz,
+		e.D[i], e.Potential[lo*td:hi*td], -1)
+	s.flops[fpDownward] += int64((hi - lo) * len(dx) * e.Ops.Kern.FlopsPerInteraction())
 }
 
 // ULI computes the exact near-field interactions (the direct sum over the
@@ -395,36 +520,42 @@ func (e *Engine) d2tLeaf(i int32) {
 func (e *Engine) ULI() {
 	defer e.timed(diag.PhaseUList)()
 	t := e.Tree
-	par.For(e.Workers, len(t.Leaves), func(li int) {
-		e.uliLeaf(t.Leaves[li])
+	sc := e.ensureScratch(e.barrierWorkers())
+	par.ForW(e.Workers, len(t.Leaves), func(w, li int) {
+		e.uliLeaf(t.Leaves[li], sc[w])
 	})
+	e.flushFlops()
 }
 
 // uliLeaf is the per-leaf U-list body: the exact direct sum into leaf i's
-// potentials. Must run after the leaf's WLI and D2T contributions
-// (accumulation order).
-func (e *Engine) uliLeaf(i int32) {
+// potentials, one EvalPanel call per U-list source panel. The self panel
+// (a == i) passes selfOffset 0 — the singular diagonal is suppressed by the
+// kernel's Algorithm 4 guard, not by a coordinate branch. Must run after
+// the leaf's WLI and D2T contributions (accumulation order).
+func (e *Engine) uliLeaf(i int32, s *evalScratch) {
 	t := e.Tree
-	kern := e.Ops.Kern
-	sd, td := kern.SrcDim(), kern.TrgDim()
 	n := &t.Nodes[i]
 	if len(n.U) == 0 || n.NPoints() == 0 {
 		return
 	}
-	trgs := t.LeafPoints(i)
+	L := e.Layout
+	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
+	lo, hi := int(n.PtLo), int(n.PtHi)
+	tx, ty, tz := L.PX[lo:hi], L.PY[lo:hi], L.PZ[lo:hi]
+	out := e.Potential[lo*td : hi*td]
 	var pairs int
 	for _, a := range n.U {
 		an := &t.Nodes[a]
-		srcs := t.LeafPoints(a)
-		for pi, p := range trgs {
-			out := e.Potential[(int(n.PtLo)+pi)*td : (int(n.PtLo)+pi+1)*td]
-			for si, sp := range srcs {
-				kern.Eval(p, sp, e.Density[(int(an.PtLo)+si)*sd:(int(an.PtLo)+si+1)*sd], out)
-			}
+		slo, shi := int(an.PtLo), int(an.PtHi)
+		selfOff := -1
+		if a == i {
+			selfOff = 0
 		}
-		pairs += len(trgs) * len(srcs)
+		e.bk.EvalPanel(tx, ty, tz, L.PX[slo:shi], L.PY[slo:shi], L.PZ[slo:shi],
+			e.Density[slo*sd:shi*sd], out, selfOff)
+		pairs += (hi - lo) * (shi - slo)
 	}
-	e.addFlops(diag.PhaseUList, int64(pairs*kern.FlopsPerInteraction()))
+	s.flops[fpUList] += int64(pairs * e.Ops.Kern.FlopsPerInteraction())
 }
 
 // Evaluate runs the full sequential FMM: upward pass, translations, downward
@@ -472,6 +603,21 @@ func (e *Engine) SetPointDensities(orig []float64) {
 	for i, o := range e.Tree.Perm {
 		copy(e.Density[i*sd:(i+1)*sd], orig[o*sd:(o+1)*sd])
 	}
+}
+
+// Den32 returns a reused single-precision copy of the per-point densities
+// (scalar kernels), refreshed on each call. It is the density-dependent
+// half of the streaming accelerator's data-structure translation — the
+// density-independent half (coordinates, panel offsets) lives in the shared
+// Layout.
+func (e *Engine) Den32() []float32 {
+	if e.den32 == nil {
+		e.den32 = make([]float32, len(e.Density))
+	}
+	for i, d := range e.Density {
+		e.den32[i] = float32(d)
+	}
+	return e.den32
 }
 
 // PointPotentials returns potentials in the caller's original point order

@@ -4,7 +4,6 @@ import (
 	"math"
 	"sync"
 
-	"kifmm/internal/diag"
 	"kifmm/internal/fft"
 	"kifmm/internal/geom"
 	"kifmm/internal/octree"
@@ -182,8 +181,9 @@ func mod(a, n int) int {
 // vliFFT is the engine's FFT-based V-list pass: level by level, compute the
 // source spectra once per source octant, Hadamard-accumulate per target,
 // then one inverse FFT per target. Processing is blocked by target to bound
-// the spectrum cache.
-func (e *Engine) vliFFT(srcSel func(i int32) bool) {
+// the spectrum cache. Each worker accumulates into its scratch's reusable
+// frequency-space buffer and flop counters (sc is indexed by worker).
+func (e *Engine) vliFFT(srcSel func(i int32) bool, sc []*evalScratch) {
 	f := e.Ops.FFT()
 	t := e.Tree
 	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
@@ -227,13 +227,11 @@ func (e *Engine) vliFFT(srcSel func(i int32) bool) {
 			par.For(e.Workers, len(srcs), func(k int) {
 				specs[k] = f.SourceSpectrum(e.U[srcs[k]])
 			})
-			par.For(e.Workers, len(blockTargets), func(bi int) {
+			par.ForW(e.Workers, len(blockTargets), func(w, bi int) {
 				ti := blockTargets[bi]
 				n := &t.Nodes[ti]
-				acc := make([][]complex128, td)
-				for x := range acc {
-					acc[x] = make([]complex128, f.GridLen())
-				}
+				s := sc[w]
+				acc := s.fftAcc(td, f.GridLen())
 				for _, a := range n.V {
 					if srcSel != nil && !srcSel(a) {
 						continue
@@ -241,7 +239,7 @@ func (e *Engine) vliFFT(srcSel func(i int32) bool) {
 					dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
 					tf := f.TranslationAt(tfLevel, dx, dy, dz)
 					Hadamard(acc, tf, specs[srcIdx[a]], sd)
-					e.addFlops(diag.PhaseVList, int64(8*td*sd*f.GridLen()))
+					s.flops[fpVList] += int64(8 * td * sd * f.GridLen())
 				}
 				scale := e.Ops.KernScale(n.Key.Level())
 				f.ExtractCheck(acc, scale, e.DChk[ti])

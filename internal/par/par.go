@@ -19,12 +19,20 @@ import (
 // the wildly different per-octant costs of adaptive trees. A panic in f
 // propagates to the caller after the remaining chunks have drained.
 func For(workers, n int, f func(i int)) {
+	ForW(workers, n, func(_, i int) { f(i) })
+}
+
+// ForW is For with the executing worker's index passed to the body:
+// f(w, i) with w in [0, max(1, min(workers, n))). Each worker index is used
+// by at most one goroutine at a time, so f may address per-worker scratch
+// state (reusable buffers, local flop counters) through w without locks.
+func ForW(workers, n int, f func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -43,9 +51,9 @@ func For(workers, n int, f func(i int)) {
 		if hi > n {
 			hi = n
 		}
-		g.Add("par.For", sched.PriNormal, func() {
+		g.AddW("par.For", sched.PriNormal, func(w int) {
 			for i := lo; i < hi; i++ {
-				f(i)
+				f(w, i)
 			}
 		})
 	}

@@ -34,3 +34,54 @@ func TestDefaultWorkersPositive(t *testing.T) {
 		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
 	}
 }
+
+// TestForWWorkerIndexExclusive checks the per-worker-scratch contract: the
+// worker index is in range and at most one goroutine uses an index at a
+// time, so indexed scratch needs no locks.
+func TestForWWorkerIndexExclusive(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			maxW := workers
+			if maxW < 1 {
+				maxW = 1
+			}
+			if maxW > n && n > 0 {
+				maxW = n
+			}
+			busy := make([]int32, maxW)
+			hits := make([]int32, n)
+			ForW(workers, n, func(w, i int) {
+				if w < 0 || w >= maxW {
+					t.Errorf("workers=%d n=%d: worker index %d out of range [0,%d)", workers, n, w, maxW)
+					return
+				}
+				if !atomic.CompareAndSwapInt32(&busy[w], 0, 1) {
+					t.Errorf("worker index %d used concurrently", w)
+				}
+				atomic.AddInt32(&hits[i], 1)
+				atomic.StoreInt32(&busy[w], 0)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForWScratchSums exercises the intended usage: lock-free accumulation
+// into per-worker slots, reduced after the loop.
+func TestForWScratchSums(t *testing.T) {
+	const n = 10000
+	workers := 8
+	sums := make([]int64, workers)
+	ForW(workers, n, func(w, i int) { sums[w] += int64(i) })
+	var tot int64
+	for _, s := range sums {
+		tot += s
+	}
+	if want := int64(n) * (n - 1) / 2; tot != want {
+		t.Fatalf("per-worker sums total %d, want %d", tot, want)
+	}
+}

@@ -55,11 +55,24 @@ type task struct {
 	name string
 	pri  Priority
 	fn   func()
+	// fnw is the worker-indexed variant registered by AddW; at most one of
+	// fn/fnw is non-nil.
+	fnw func(worker int)
 	// deps is the remaining-predecessor count; the task is runnable when
 	// it reaches zero. Set at Add/Dep time, decremented atomically as
 	// predecessors complete.
 	deps  int32
 	succs []TaskID
+}
+
+// run invokes the task body, passing the executing worker's index to
+// worker-indexed tasks.
+func (t *task) run(worker int) {
+	if t.fnw != nil {
+		t.fnw(worker)
+		return
+	}
+	t.fn()
 }
 
 // Graph is a single-use dependency graph: Add tasks, declare Deps, Run
@@ -83,6 +96,18 @@ func (g *Graph) Add(name string, pri Priority, fn func()) TaskID {
 		panic("sched: Add after Run")
 	}
 	g.tasks = append(g.tasks, task{name: name, pri: pri, fn: fn})
+	return TaskID(len(g.tasks) - 1)
+}
+
+// AddW registers a task whose body receives the index of the worker that
+// runs it (in [0, workers) for the clamped worker count of Run). Bodies use
+// it to address per-worker scratch state — reusable buffers and local
+// counters flushed after the run — without locks or allocation.
+func (g *Graph) AddW(name string, pri Priority, fn func(worker int)) TaskID {
+	if g.started {
+		panic("sched: Add after Run")
+	}
+	g.tasks = append(g.tasks, task{name: name, pri: pri, fnw: fn})
 	return TaskID(len(g.tasks) - 1)
 }
 
@@ -460,7 +485,7 @@ func (r *runner) signal() {
 // and stats, and releases successors.
 func (r *runner) execute(w int, id TaskID) {
 	t := &r.g.tasks[id]
-	if !r.failed.Load() && t.fn != nil {
+	if !r.failed.Load() && (t.fn != nil || t.fnw != nil) {
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
@@ -472,10 +497,10 @@ func (r *runner) execute(w int, id TaskID) {
 			}()
 			if r.trace != nil {
 				start := time.Now()
-				t.fn()
+				t.run(w)
 				r.trace.add(w, t.name, int32(id), start, time.Since(start))
 			} else {
-				t.fn()
+				t.run(w)
 			}
 		}()
 	}

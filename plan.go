@@ -26,7 +26,11 @@ import (
 type Plan struct {
 	f    *FMM
 	tree *octree.Tree
-	n    int
+	// layout is the plan-time streaming translation of the tree (SoA point
+	// panels, per-level surface offsets, float32 mirrors), built once and
+	// shared read-only by every engine this plan checks out.
+	layout *ikifmm.Layout
+	n      int
 
 	mu   sync.Mutex
 	free []*ikifmm.Engine
@@ -54,7 +58,7 @@ func (f *FMM) Plan(points []Point) (*Plan, error) {
 		tree = octree.Build(gpts, f.opt.PointsPerBox, f.opt.MaxDepth)
 	}
 	tree.BuildLists(nil)
-	return &Plan{f: f, tree: tree, n: len(points)}, nil
+	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops), n: len(points)}, nil
 }
 
 // NumPoints returns the number of points the plan was built for.
@@ -87,7 +91,10 @@ func (p *Plan) MemoryBytes() int64 {
 	const nodeStruct = 120 // Node fixed fields, approximate
 	engine := nodes*int64(2*ops.UpwardLen()+ops.CheckLen())*8 +
 		pts*int64(p.f.kern.SrcDim()+p.f.kern.TrgDim())*8
-	return nodes*nodeStruct + lists + pts*(24+8) + engine
+	// Streaming layout: float64 + float32 SoA point panels plus per-node
+	// centers, half-sides, and levels.
+	layout := pts*(3*8+3*4) + nodes*(4*8+1)
+	return nodes*nodeStruct + lists + pts*(24+8) + engine + layout
 }
 
 // getEngine checks out a reset engine bound to the plan's tree.
@@ -101,7 +108,7 @@ func (p *Plan) getEngine() *ikifmm.Engine {
 	prof := p.prof
 	p.mu.Unlock()
 	if eng == nil {
-		eng = ikifmm.NewEngine(p.f.ops, p.tree)
+		eng = ikifmm.NewEngineLayout(p.f.ops, p.tree, p.layout)
 		eng.UseFFTM2L = !p.f.opt.DenseM2L
 		eng.Workers = p.f.opt.Workers
 	} else {
