@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-nearfield bench-smoke sched-stress ci
+.PHONY: build vet test race bench bench-nearfield bench-json bench-smoke sched-stress ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ bench:
 # (BenchmarkNearField{ULI,D2T,WLI} × {laplace,stokes,yukawa}).
 bench-nearfield:
 	$(GO) test ./internal/kifmm/ -run='^$$' -bench=BenchmarkNearField -benchmem
+
+# V-list phase comparison (fft vs fft-legacy vs dense) on the 30k ellipsoid
+# tree, written as machine-readable JSON (ns/op, B/op, allocs/op per
+# sub-benchmark) for EXPERIMENTS.md and CI artifacts.
+bench-json:
+	$(GO) run ./cmd/benchjson -pkg ./internal/kifmm/ -bench BenchmarkVList -benchtime 3x -o BENCH_vlist.json
 
 # Compile-and-run every benchmark exactly once: catches bitrot in benchmark
 # code without paying for real measurement (the -run pattern matches no

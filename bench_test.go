@@ -303,10 +303,10 @@ func BenchmarkM2LFFTHadamard(b *testing.B) {
 	}
 	src := f.SourceSpectrum(u)
 	tf := f.Translation(2, 1, 0)
-	acc := [][]complex128{make([]complex128, f.GridLen())}
+	acc := make([]float64, f.AccLen())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ikifmm.Hadamard(acc, tf, src, 1)
+		ikifmm.Hadamard(acc, tf, src, 1, 1, f.HalfLen())
 	}
 }
 

@@ -1,0 +1,146 @@
+// Command benchjson runs a benchmark pattern under `go test -bench` and
+// writes the parsed results as JSON, so CI runs and EXPERIMENTS.md tables
+// come from the same machine-readable artifact instead of hand-copied
+// console output.
+//
+// Usage:
+//
+//	benchjson [-pkg ./internal/kifmm/] [-bench BenchmarkVList] \
+//	          [-benchtime 3x] [-count 1] [-o BENCH_vlist.json]
+//
+// The output maps each sub-benchmark name to its ns/op, B/op, and allocs/op
+// plus the environment header (goos/goarch/cpu/pkg) of the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line of `go test -bench -benchmem` output.
+type Result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the JSON document benchjson writes.
+type Report struct {
+	Package    string            `json:"package"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Bench      string            `json:"bench"`
+	Benchtime  string            `json:"benchtime"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	pkg := flag.String("pkg", "./internal/kifmm/", "package to benchmark")
+	bench := flag.String("bench", "BenchmarkVList", "benchmark regexp passed to -bench")
+	benchtime := flag.String("benchtime", "3x", "value passed to -benchtime")
+	count := flag.Int("count", 1, "value passed to -count")
+	out := flag.String("o", "BENCH_vlist.json", "output file (- for stdout)")
+	flag.Parse()
+
+	args := []string{
+		"test", *pkg, "-run", "^$",
+		"-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(1)
+	}
+
+	rep := Report{Bench: *bench, Benchtime: *benchtime, Benchmarks: map[string]Result{}}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseBenchLine(line)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping unparsable line: %s\n", line)
+				continue
+			}
+			// With -count > 1 keep the fastest run, the usual noise floor.
+			if prev, seen := rep.Benchmarks[name]; !seen || res.NsPerOp < prev.NsPerOp {
+				rep.Benchmarks[name] = res
+			}
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines matched %q\n%s", *bench, raw)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseBenchLine parses one "BenchmarkName-8  3  648600744 ns/op  1769626
+// B/op  10524 allocs/op" line. The -cpu suffix is stripped from the name.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var res Result
+	var err error
+	if res.Iterations, err = strconv.Atoi(fields[1]); err != nil {
+		return "", Result{}, false
+	}
+	if res.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		return "", Result{}, false
+	}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, verr := strconv.ParseInt(fields[i], 10, 64)
+		if verr != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	return name, res, true
+}

@@ -92,6 +92,10 @@ type Options struct {
 	DenseM2L bool
 	// Workers bounds shared-memory parallelism inside each rank (default 1).
 	Workers int
+	// VListBlock overrides the FFT V-list target block size (0 = derive it
+	// from the worker count and the spectrum footprint). The block bounds
+	// the live-spectrum memory of the direction-batched translation phase.
+	VListBlock int
 	// NoLoadBalance disables the work-weighted Morton repartitioning that
 	// distributed evaluation performs by default; set it to keep the initial
 	// equal-count point partition instead.
@@ -161,7 +165,7 @@ func New(opt Options) (*FMM, error) {
 	if opt.Workers == 0 {
 		opt.Workers = 1
 	}
-	if opt.PointsPerBox < 1 || opt.Order < 2 || opt.MaxDepth < 1 || opt.MaxDepth > 30 {
+	if opt.PointsPerBox < 1 || opt.Order < 2 || opt.MaxDepth < 1 || opt.MaxDepth > 30 || opt.VListBlock < 0 {
 		return nil, fmt.Errorf("kifmm: invalid options %+v", opt)
 	}
 	if opt.Exec < ExecAuto || opt.Exec > ExecDAG {

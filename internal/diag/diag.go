@@ -48,6 +48,11 @@ const (
 	CounterSchedSteals = "sched_steals"
 	// CounterSchedStolen counts tasks that migrated between workers.
 	CounterSchedStolen = "sched_stolen"
+	// CounterTFCacheHits / CounterTFCacheMisses count the process-wide
+	// V-list translation-spectrum cache hits and misses observed during
+	// plan builds (misses = spectra actually recomputed).
+	CounterTFCacheHits   = "tf_cache_hits"
+	CounterTFCacheMisses = "tf_cache_misses"
 )
 
 // Profile accumulates named phase timings and flop counts for one rank.

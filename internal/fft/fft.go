@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // Plan caches twiddle factors (and, for non-power-of-two sizes, Bluestein
@@ -30,6 +31,9 @@ type Plan struct {
 	bfft   []complex128 // FFT of the padded reciprocal chirp filter
 	sub    *Plan        // radix-2 plan of length m
 	scaleM float64
+	// scratch pools the length-m convolution buffers so repeated transforms
+	// (the FMM runs millions per V-list pass) don't allocate per call.
+	scratch sync.Pool // *[]complex128 of length m
 }
 
 // NewPlan creates a transform plan for length n (n >= 1).
@@ -104,7 +108,16 @@ func (p *Plan) Inverse(x []complex128) {
 
 func (p *Plan) bluestein(x []complex128, inverse bool) {
 	n, m := p.n, p.m
-	a := make([]complex128, m)
+	buf, _ := p.scratch.Get().(*[]complex128)
+	if buf == nil {
+		s := make([]complex128, m)
+		buf = &s
+	}
+	a := *buf
+	// The convolution padding [n, m) must be zero; the head is overwritten.
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
 	if inverse {
 		for k := 0; k < n; k++ {
 			a[k] = x[k] * cmplx.Conj(p.chirp[k])
@@ -138,6 +151,7 @@ func (p *Plan) bluestein(x []complex128, inverse bool) {
 			x[k] = a[k] * p.chirp[k] * complex(p.scaleM, 0)
 		}
 	}
+	p.scratch.Put(buf)
 }
 
 func (p *Plan) forwardPow2(x []complex128) {

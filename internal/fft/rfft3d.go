@@ -1,0 +1,230 @@
+package fft
+
+import "sync"
+
+// PlanR3D performs 3-D DFTs of real-valued nx×ny×nz grids, exploiting the
+// Hermitian symmetry X[-k] = conj(X[k]) of real input: only the non-redundant
+// half spectrum along the innermost (z) axis is computed and stored, so a
+// spectrum occupies nx·ny·(nz/2+1) complex entries instead of nx·ny·nz. The
+// FMM's FFT-diagonalized V-list translation runs entirely on these half
+// spectra — kernel grids and padded densities are real — which halves both
+// the Hadamard flops and the live-spectrum memory of the translation phase.
+//
+// Spectra are stored as two separate float64 slices (re, im) of length
+// HalfLen() each, indexed (ix*ny + iy)*hz + kz with hz = nz/2+1 — the
+// structure-of-arrays panel form the translation micro-kernels stream.
+//
+// A PlanR3D is safe for concurrent use: per-call row scratch comes from a
+// pool, never from mutable plan state.
+type PlanR3D struct {
+	Nx, Ny, Nz int
+	// Hz is the half-spectrum extent of the z axis: Nz/2 + 1.
+	Hz         int
+	px, py, pz *Plan
+	rows       sync.Pool // *[]complex128, max(Nx,Ny,Nz) long
+}
+
+// NewPlanR3D creates a real-input 3-D plan for an nx×ny×nz grid.
+func NewPlanR3D(nx, ny, nz int) *PlanR3D {
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("fft: invalid 3-D dimensions")
+	}
+	p := &PlanR3D{Nx: nx, Ny: ny, Nz: nz, Hz: nz/2 + 1}
+	p.px = NewPlan(nx)
+	if ny == nx {
+		p.py = p.px
+	} else {
+		p.py = NewPlan(ny)
+	}
+	switch {
+	case nz == nx:
+		p.pz = p.px
+	case nz == ny:
+		p.pz = p.py
+	default:
+		p.pz = NewPlan(nz)
+	}
+	return p
+}
+
+// Size returns the real-grid point count Nx·Ny·Nz.
+func (p *PlanR3D) Size() int { return p.Nx * p.Ny * p.Nz }
+
+// HalfLen returns the half-spectrum length Nx·Ny·(Nz/2+1).
+func (p *PlanR3D) HalfLen() int { return p.Nx * p.Ny * p.Hz }
+
+func (p *PlanR3D) rowBuf() *[]complex128 {
+	if buf, _ := p.rows.Get().(*[]complex128); buf != nil {
+		return buf
+	}
+	m := p.Nx
+	if p.Ny > m {
+		m = p.Ny
+	}
+	if p.Nz > m {
+		m = p.Nz
+	}
+	s := make([]complex128, m)
+	return &s
+}
+
+// RForward computes the forward DFT of the real grid src (length Size()),
+// writing the half spectrum into re and im (length HalfLen() each). src is
+// not modified. The z-axis pass transforms two real rows per complex FFT
+// (packed as x0 + i·x1 and separated by Hermitian symmetry), so the real
+// transform costs roughly half of a full complex one.
+func (p *PlanR3D) RForward(src []float64, re, im []float64) {
+	if len(src) != p.Size() || len(re) != p.HalfLen() || len(im) != p.HalfLen() {
+		panic("fft: RForward length mismatch")
+	}
+	nx, ny, nz, hz := p.Nx, p.Ny, p.Nz, p.Hz
+	buf := p.rowBuf()
+	defer p.rows.Put(buf)
+
+	// z-axis: two real rows per complex transform. With Z = F(x0 + i·x1),
+	// F(x0)[k] = (Z[k] + conj(Z[n−k]))/2 and F(x1)[k] = (Z[k] − conj(Z[n−k]))/(2i).
+	bz := (*buf)[:nz]
+	nr := nx * ny
+	r := 0
+	for ; r+1 < nr; r += 2 {
+		s0 := src[r*nz : (r+1)*nz]
+		s1 := src[(r+1)*nz : (r+2)*nz]
+		for k := 0; k < nz; k++ {
+			bz[k] = complex(s0[k], s1[k])
+		}
+		p.pz.Forward(bz)
+		o0, o1 := r*hz, (r+1)*hz
+		for k := 0; k < hz; k++ {
+			a, b := real(bz[k]), imag(bz[k])
+			zc := bz[(nz-k)%nz]
+			c, d := real(zc), imag(zc)
+			re[o0+k], im[o0+k] = (a+c)/2, (b-d)/2
+			re[o1+k], im[o1+k] = (b+d)/2, (c-a)/2
+		}
+	}
+	if r < nr {
+		s0 := src[r*nz : (r+1)*nz]
+		for k := 0; k < nz; k++ {
+			bz[k] = complex(s0[k], 0)
+		}
+		p.pz.Forward(bz)
+		o0 := r * hz
+		for k := 0; k < hz; k++ {
+			re[o0+k], im[o0+k] = real(bz[k]), imag(bz[k])
+		}
+	}
+
+	// y- and x-axis passes: ordinary complex transforms over the half grid.
+	p.pass(re, im, false)
+}
+
+// RInverse computes the inverse DFT (normalized by 1/(Nx·Ny·Nz)) of the
+// Hermitian half spectrum (re, im), writing the real result into dst (length
+// Size()). re and im are consumed: the x/y passes transform them in place.
+// The spectrum must be Hermitian-consistent (e.g. produced by RForward, or a
+// pointwise product of such spectra); the redundant half is reconstructed by
+// symmetry and two real rows are recovered per inverse complex transform.
+func (p *PlanR3D) RInverse(re, im []float64, dst []float64) {
+	if len(dst) != p.Size() || len(re) != p.HalfLen() || len(im) != p.HalfLen() {
+		panic("fft: RInverse length mismatch")
+	}
+	nx, ny, nz, hz := p.Nx, p.Ny, p.Nz, p.Hz
+	p.pass(re, im, true)
+
+	// z-axis: reconstruct the full Hermitian row and invert two rows at a
+	// time — F⁻¹(Z0 + i·Z1) = x0 + i·x1 for Hermitian Z0, Z1.
+	buf := p.rowBuf()
+	defer p.rows.Put(buf)
+	bz := (*buf)[:nz]
+	nr := nx * ny
+	r := 0
+	for ; r+1 < nr; r += 2 {
+		o0, o1 := r*hz, (r+1)*hz
+		for k := 0; k < nz; k++ {
+			var r0, i0, r1, i1 float64
+			if k < hz {
+				r0, i0 = re[o0+k], im[o0+k]
+				r1, i1 = re[o1+k], im[o1+k]
+			} else {
+				kk := nz - k
+				r0, i0 = re[o0+kk], -im[o0+kk]
+				r1, i1 = re[o1+kk], -im[o1+kk]
+			}
+			bz[k] = complex(r0-i1, i0+r1)
+		}
+		p.pz.Inverse(bz)
+		d0 := dst[r*nz : (r+1)*nz]
+		d1 := dst[(r+1)*nz : (r+2)*nz]
+		for k := 0; k < nz; k++ {
+			d0[k], d1[k] = real(bz[k]), imag(bz[k])
+		}
+	}
+	if r < nr {
+		o0 := r * hz
+		for k := 0; k < nz; k++ {
+			if k < hz {
+				bz[k] = complex(re[o0+k], im[o0+k])
+			} else {
+				kk := nz - k
+				bz[k] = complex(re[o0+kk], -im[o0+kk])
+			}
+		}
+		p.pz.Inverse(bz)
+		d0 := dst[r*nz : (r+1)*nz]
+		for k := 0; k < nz; k++ {
+			d0[k] = real(bz[k])
+		}
+	}
+}
+
+// pass runs the y- then x-axis complex transforms over the half grid stored
+// in (re, im), forward or inverse.
+func (p *PlanR3D) pass(re, im []float64, inverse bool) {
+	nx, ny, hz := p.Nx, p.Ny, p.Hz
+	buf := p.rowBuf()
+	defer p.rows.Put(buf)
+	apply := func(pl *Plan, v []complex128) {
+		if inverse {
+			pl.Inverse(v)
+		} else {
+			pl.Forward(v)
+		}
+	}
+	// y-axis: stride hz within one x-slab.
+	if ny > 1 {
+		by := (*buf)[:ny]
+		for ix := 0; ix < nx; ix++ {
+			for kz := 0; kz < hz; kz++ {
+				base := ix*ny*hz + kz
+				for iy := 0; iy < ny; iy++ {
+					idx := base + iy*hz
+					by[iy] = complex(re[idx], im[idx])
+				}
+				apply(p.py, by)
+				for iy := 0; iy < ny; iy++ {
+					idx := base + iy*hz
+					re[idx], im[idx] = real(by[iy]), imag(by[iy])
+				}
+			}
+		}
+	}
+	// x-axis: stride ny·hz.
+	if nx > 1 {
+		bx := (*buf)[:nx]
+		stride := ny * hz
+		for iy := 0; iy < ny; iy++ {
+			for kz := 0; kz < hz; kz++ {
+				base := iy*hz + kz
+				for ix := 0; ix < nx; ix++ {
+					idx := base + ix*stride
+					bx[ix] = complex(re[idx], im[idx])
+				}
+				apply(p.px, bx)
+				for ix := 0; ix < nx; ix++ {
+					idx := base + ix*stride
+					re[idx], im[idx] = real(bx[ix]), imag(bx[ix])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sizes covers power-of-two (radix-2 path), odd and composite (Bluestein
+// path), and degenerate length-1 axes.
+var rSizes = []int{1, 2, 3, 4, 5, 8, 12}
+
+func randGrid(rng *rand.Rand, n int) []float64 {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+// TestRForwardMatchesPlan3D: the half spectrum must agree with the full
+// complex transform of the same real grid restricted to kz < Nz/2+1, for
+// every axis-size combination.
+func TestRForwardMatchesPlan3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, nx := range rSizes {
+		for _, ny := range rSizes {
+			for _, nz := range rSizes {
+				rp := NewPlanR3D(nx, ny, nz)
+				cp := NewPlan3D(nx, ny, nz)
+				src := randGrid(rng, rp.Size())
+
+				re := make([]float64, rp.HalfLen())
+				im := make([]float64, rp.HalfLen())
+				rp.RForward(src, re, im)
+
+				full := make([]complex128, cp.Size())
+				for i, v := range src {
+					full[i] = complex(v, 0)
+				}
+				cp.Forward(full)
+
+				hz := rp.Hz
+				for ix := 0; ix < nx; ix++ {
+					for iy := 0; iy < ny; iy++ {
+						for kz := 0; kz < hz; kz++ {
+							want := full[(ix*ny+iy)*nz+kz]
+							h := (ix*ny+iy)*hz + kz
+							if d := math.Hypot(re[h]-real(want), im[h]-imag(want)); d > 1e-10 {
+								t.Fatalf("%dx%dx%d: spectrum (%d,%d,%d) differs by %g", nx, ny, nz, ix, iy, kz, d)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRForwardHermitianSymmetry: the redundant half that RForward does not
+// store must be recoverable as X[-k] = conj(X[k]); check it against the full
+// transform.
+func TestRForwardHermitianSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{4, 5, 8} {
+		cp := NewPlan3D(n, n, n)
+		src := randGrid(rng, cp.Size())
+		full := make([]complex128, cp.Size())
+		for i, v := range src {
+			full[i] = complex(v, 0)
+		}
+		cp.Forward(full)
+		for ix := 0; ix < n; ix++ {
+			for iy := 0; iy < n; iy++ {
+				for iz := 0; iz < n; iz++ {
+					a := full[(ix*n+iy)*n+iz]
+					b := full[(((n-ix)%n)*n+(n-iy)%n)*n+(n-iz)%n]
+					if d := math.Hypot(real(a)-real(b), imag(a)+imag(b)); d > 1e-10 {
+						t.Fatalf("n=%d: Hermitian symmetry violated at (%d,%d,%d): %g", n, ix, iy, iz, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRInverseRoundTrip: RInverse(RForward(x)) must reproduce x for every
+// axis-size combination.
+func TestRInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, nx := range rSizes {
+		for _, ny := range rSizes {
+			for _, nz := range rSizes {
+				rp := NewPlanR3D(nx, ny, nz)
+				src := randGrid(rng, rp.Size())
+				re := make([]float64, rp.HalfLen())
+				im := make([]float64, rp.HalfLen())
+				rp.RForward(src, re, im)
+				dst := make([]float64, rp.Size())
+				rp.RInverse(re, im, dst)
+				for i := range src {
+					if math.Abs(dst[i]-src[i]) > 1e-10*(1+math.Abs(src[i])) {
+						t.Fatalf("%dx%dx%d: round trip differs at %d: %v vs %v", nx, ny, nz, i, dst[i], src[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRConvolutionMatchesComplex: a circular convolution computed on half
+// spectra (forward, pointwise product, inverse) must match Plan3D.Convolve3D
+// — the exact operation the FFT V-list translation performs.
+func TestRConvolutionMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{4, 6, 8, 12} {
+		rp := NewPlanR3D(n, n, n)
+		cp := NewPlan3D(n, n, n)
+		a := randGrid(rng, rp.Size())
+		b := randGrid(rng, rp.Size())
+
+		ca := make([]complex128, len(a))
+		cb := make([]complex128, len(b))
+		for i := range a {
+			ca[i] = complex(a[i], 0)
+			cb[i] = complex(b[i], 0)
+		}
+		want := cp.Convolve3D(ca, cb)
+
+		hl := rp.HalfLen()
+		are, aim := make([]float64, hl), make([]float64, hl)
+		bre, bim := make([]float64, hl), make([]float64, hl)
+		rp.RForward(a, are, aim)
+		rp.RForward(b, bre, bim)
+		pre, pim := make([]float64, hl), make([]float64, hl)
+		for i := 0; i < hl; i++ {
+			pre[i] = are[i]*bre[i] - aim[i]*bim[i]
+			pim[i] = are[i]*bim[i] + aim[i]*bre[i]
+		}
+		got := make([]float64, rp.Size())
+		rp.RInverse(pre, pim, got)
+		for i := range got {
+			if math.Abs(got[i]-real(want[i])) > 1e-9*(1+math.Abs(real(want[i]))) {
+				t.Fatalf("n=%d: convolution differs at %d: %v vs %v", n, i, got[i], real(want[i]))
+			}
+		}
+	}
+}
+
+func BenchmarkRForward12(b *testing.B) {
+	rp := NewPlanR3D(12, 12, 12)
+	src := randGrid(rand.New(rand.NewSource(1)), rp.Size())
+	re := make([]float64, rp.HalfLen())
+	im := make([]float64, rp.HalfLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rp.RForward(src, re, im)
+	}
+}
+
+func BenchmarkForward12Complex(b *testing.B) {
+	cp := NewPlan3D(12, 12, 12)
+	src := randGrid(rand.New(rand.NewSource(1)), cp.Size())
+	x := make([]complex128, cp.Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, v := range src {
+			x[j] = complex(v, 0)
+		}
+		cp.Forward(x)
+	}
+}

@@ -11,7 +11,9 @@ import (
 // diagonal translation — the frequency-space Hadamard multiply-accumulate —
 // streams on the device in single precision. This stage has the lowest
 // compute-to-memory ratio of the accelerated phases ("the least efficient
-// in the GPU"), which the cost model reproduces.
+// in the GPU"), which the cost model reproduces. Spectra are the Hermitian
+// half-spectra of the real grids, so device uploads, launches, and
+// accumulators all cover n·n·(n/2+1) frequencies instead of n³.
 func (a *FMMAccel) VLI(e *kifmm.Engine) {
 	a.requireLaplace(e)
 	a.phase(diag.PhaseVList, func() { a.vli(e) })
@@ -41,10 +43,20 @@ func log2i(n int) int {
 	return l
 }
 
+// toC64 packs one SoA half-spectrum (re panel, im panel) into interleaved
+// complex64, the device-resident format.
+func toC64(re, im []float64) []complex64 {
+	out := make([]complex64, len(re))
+	for i := range re {
+		out[i] = complex(float32(re[i]), float32(im[i]))
+	}
+	return out
+}
+
 func (a *FMMAccel) vli(e *kifmm.Engine) {
 	t := e.Tree
 	f := e.Ops.FFT()
-	gl := f.GridLen()
+	hl := f.HalfLen()
 
 	// Group V-list targets by level (V interactions are same-level).
 	byLevel := make(map[int][]int32)
@@ -61,13 +73,10 @@ func (a *FMMAccel) vli(e *kifmm.Engine) {
 		if tf, ok := a.vliTF[key]; ok {
 			return tf
 		}
-		spec := f.Translation(dx, dy, dz)[0] // Laplace: one component pair
-		tf := make([]complex64, gl)
-		for i, v := range spec {
-			tf[i] = complex64(v)
-		}
+		spec := f.Translation(dx, dy, dz) // Laplace: one component pair
+		tf := toC64(spec[:hl], spec[hl:2*hl])
 		a.vliTF[key] = tf
-		a.Dev.H2D(8 * gl)
+		a.Dev.H2D(8 * hl)
 		return tf
 	}
 
@@ -93,26 +102,22 @@ func (a *FMMAccel) vli(e *kifmm.Engine) {
 				}
 			}
 			specs := make([][]complex64, len(srcs))
-			fftFlops := int64(5 * gl * log2i(gl)) // ~5·n·log n per transform
+			fftFlops := int64(5 * hl * log2i(hl)) // ~5·n·log n per transform
 			for k, ai := range srcs {
-				sp := f.SourceSpectrum(e.U[ai])[0]
+				sp := f.SourceSpectrum(e.U[ai])
 				a.HostFFTFlops += fftFlops
-				s32 := make([]complex64, gl)
-				for i, v := range sp {
-					s32[i] = complex64(v)
-				}
-				specs[k] = s32
-				a.Dev.H2D(8 * gl)
+				specs[k] = toC64(sp[:hl], sp[hl:2*hl])
+				a.Dev.H2D(8 * hl)
 			}
-			a.TranslationBytes += int64(8 * gl * len(srcs))
+			a.TranslationBytes += int64(8 * hl * len(srcs))
 
 			// Device: Hadamard accumulation, one launch per target; blocks
-			// tile the frequency grid.
+			// tile the half-spectrum frequency range.
 			accs := make([][]complex64, len(blockTargets))
 			bsz := a.BlockSize
-			grid := (gl + bsz - 1) / bsz
+			grid := (hl + bsz - 1) / bsz
 			for bi, ti := range blockTargets {
-				acc := make([]complex64, gl)
+				acc := make([]complex64, hl)
 				accs[bi] = acc
 				type pair struct{ tf, src []complex64 }
 				var pairs []pair
@@ -123,8 +128,8 @@ func (a *FMMAccel) vli(e *kifmm.Engine) {
 				a.Dev.Launch(grid, bsz, 0, func(blk *stream.Block) {
 					start := blk.Idx * bsz
 					end := start + bsz
-					if end > gl {
-						end = gl
+					if end > hl {
+						end = hl
 					}
 					for _, pr := range pairs {
 						blk.ForEachThread(func(tid int) {
@@ -145,16 +150,17 @@ func (a *FMMAccel) vli(e *kifmm.Engine) {
 			}
 
 			// CPU: inverse FFTs and check-surface extraction.
+			grid64 := make([]float64, f.GridLen())
 			for bi, ti := range blockTargets {
-				a.Dev.D2H(8 * gl)
-				acc := make([][]complex128, 1)
-				acc[0] = make([]complex128, gl)
+				a.Dev.D2H(8 * hl)
+				acc := make([]float64, 2*hl)
 				for i, v := range accs[bi] {
-					acc[0][i] = complex128(v)
+					acc[i] = float64(real(v))
+					acc[hl+i] = float64(imag(v))
 				}
 				scale := e.Ops.KernScale(t.Nodes[ti].Key.Level())
-				a.HostFFTFlops += int64(5 * gl * log2i(gl))
-				f.ExtractCheck(acc, scale, e.DChk[ti])
+				a.HostFFTFlops += int64(5 * hl * log2i(hl))
+				f.ExtractCheck(acc, scale, e.DChk[ti], grid64)
 			}
 		}
 	}

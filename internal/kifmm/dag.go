@@ -1,6 +1,7 @@
 package kifmm
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"kifmm/internal/diag"
@@ -204,7 +205,7 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 	t := e.Tree
 	f := e.Ops.FFT()
 	nn := len(t.Nodes)
-	spec := make([][][]complex128, nn)
+	spec := make([][]float64, nn)
 	refs := make([]int32, nn)
 	specTask := make([]sched.TaskID, nn)
 	for i := range specTask {
@@ -216,9 +217,11 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 			refs[a]++
 			if specTask[a] == sched.NoTask {
 				a := a
-				specTask[a] = g.Add("spec", sched.PriHigh, func() {
+				specTask[a] = g.AddW("spec", sched.PriHigh, func(w int) {
 					stop := e.timed(diag.PhaseVList)
-					spec[a] = f.SourceSpectrum(e.U[a])
+					sp := make([]float64, f.SpecLen())
+					f.SourceSpectrumInto(e.U[a], sp, e.scratch[w].grid(f.GridLen()))
+					spec[a] = sp
 					stop()
 				})
 				if uTask[a] != sched.NoTask {
@@ -241,28 +244,37 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 }
 
 // vliFFTNode is the per-target FFT V-list body: Hadamard-accumulate every
-// V source's spectrum (in V-list order, as the barrier path does within a
-// block) into the worker's reusable frequency-space accumulator,
+// V source's spectrum — in ascending direction-key order, the same
+// per-target order the barrier path's direction-major streaming produces —
+// into the worker's reusable frequency-space accumulator,
 // inverse-transform, and add into e.DChk[i]. Afterwards it drops the
 // refcount of each consumed spectrum, freeing it on zero; the atomic
 // decrement orders the release after every other consumer's reads.
-func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][][]complex128, refs []int32, s *evalScratch) {
+func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][]float64, refs []int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
 	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
+	hl := f.HalfLen()
 	tfLevel := 0
 	if !e.Ops.Homogeneous() {
 		tfLevel = n.Key.Level()
 	}
-	acc := s.fftAcc(td, f.GridLen())
+	vs := s.vsort[:0]
 	for _, a := range n.V {
 		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
+		vs = append(vs, vRef{dir: packDir(dx, dy, dz), a: a})
+	}
+	s.vsort = vs
+	sort.Slice(vs, func(x, y int) bool { return vs[x].dir < vs[y].dir })
+	acc := s.fftAcc(f.AccLen())
+	for _, vr := range vs {
+		dx, dy, dz := unpackDir(vr.dir)
 		tf := f.TranslationAt(tfLevel, dx, dy, dz)
-		Hadamard(acc, tf, spec[a], sd)
-		s.flops[fpVList] += int64(8 * td * sd * f.GridLen())
+		Hadamard(acc, tf, spec[vr.a], sd, td, hl)
+		s.flops[fpVList] += int64(8 * td * sd * hl)
 	}
 	scale := e.Ops.KernScale(n.Key.Level())
-	f.ExtractCheck(acc, scale, e.DChk[i])
+	f.ExtractCheck(acc, scale, e.DChk[i], s.grid(f.GridLen()))
 	for _, a := range n.V {
 		if atomic.AddInt32(&refs[a], -1) == 0 {
 			spec[a] = nil

@@ -42,6 +42,9 @@ type Engine struct {
 	// UseFFTM2L selects the FFT-diagonalized V-list translation instead of
 	// dense M2L matrices.
 	UseFFTM2L bool
+	// VBlock overrides the FFT V-list target block size (0 derives it from
+	// the worker count and the spectrum footprint; see vBlockSize).
+	VBlock int
 	// Workers bounds within-rank loop parallelism (1 = sequential, matching
 	// the paper's CPU configuration of one core per MPI process).
 	Workers int
@@ -69,6 +72,9 @@ type Engine struct {
 	scratch []*evalScratch
 	// den32 is the reused single-precision density buffer of Den32.
 	den32 []float32
+	// vspec and vacc are the FFT V-list's reusable per-block source-spectrum
+	// and target-accumulator buffers (barrier path; grown by vBuf).
+	vspec, vacc []float64
 }
 
 // NewEngine allocates evaluation state for the tree, building a private
@@ -146,30 +152,68 @@ type evalScratch struct {
 	chk        []float64 // CheckLen: check potentials / MulVec temporary
 	up         []float64 // UpwardLen: equivalent-density temporary
 	sx, sy, sz []float64 // NumSurf: surface coordinate panel
-	cacc       [][]complex128
+	vgrid      []float64 // GridLen: real-grid scratch for the half-spectrum FFTs
+	vacc       []float64 // AccLen: per-target frequency accumulator (DAG path)
+	vsort      []vRef    // direction-sorted V-list scratch (DAG path)
 	flops      [numFlopPhase]int64
+}
+
+// vRef is one V-list source tagged with its packed direction key, the DAG
+// path's unit of direction-ordered accumulation.
+type vRef struct {
+	dir uint32
+	a   int32
 }
 
 // surf returns the scratch surface panel slices.
 func (s *evalScratch) surf() (sx, sy, sz []float64) { return s.sx, s.sy, s.sz }
 
-// fftAcc returns the zeroed frequency-space accumulator (td grids of n
-// entries), reusing the previous allocation when the shape matches.
-func (s *evalScratch) fftAcc(td, n int) [][]complex128 {
-	if len(s.cacc) != td || (td > 0 && len(s.cacc[0]) != n) {
-		s.cacc = make([][]complex128, td)
-		for i := range s.cacc {
-			s.cacc[i] = make([]complex128, n)
-		}
-		return s.cacc
+// grid returns the worker's real-grid FFT scratch of length n.
+func (s *evalScratch) grid(n int) []float64 {
+	if len(s.vgrid) != n {
+		s.vgrid = make([]float64, n)
 	}
-	for i := range s.cacc {
-		g := s.cacc[i]
-		for j := range g {
-			g[j] = 0
-		}
+	return s.vgrid
+}
+
+// fftAcc returns the zeroed frequency-space accumulator of length n (SoA
+// re/im panels per target component), reusing the previous allocation when
+// the shape matches.
+func (s *evalScratch) fftAcc(n int) []float64 {
+	if len(s.vacc) != n {
+		s.vacc = make([]float64, n)
+		return s.vacc
 	}
-	return s.cacc
+	zero(s.vacc)
+	return s.vacc
+}
+
+// vBuf reslices (growing if needed) one of the engine's reusable FFT V-list
+// block buffers to length n.
+func (e *Engine) vBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// vBlockSize returns the FFT V-list target block size: VBlock when set,
+// otherwise sized so the block's live target accumulators stay within a
+// fixed byte budget (bounding live-spectrum memory) without dropping below
+// a few targets per worker (keeping every worker busy per block).
+func (e *Engine) vBlockSize(accLen int) int {
+	if e.VBlock > 0 {
+		return e.VBlock
+	}
+	const accBudget = 8 << 20 // live target-accumulator bytes per block
+	b := accBudget / (accLen * 8)
+	if m := 4 * e.barrierWorkers(); b < m {
+		b = m
+	}
+	if b > 1024 {
+		b = 1024
+	}
+	return b
 }
 
 // ensureScratch returns the per-worker scratch slice, growing it to at

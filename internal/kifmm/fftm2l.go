@@ -2,7 +2,7 @@ package kifmm
 
 import (
 	"math"
-	"sync"
+	"sort"
 
 	"kifmm/internal/fft"
 	"kifmm/internal/geom"
@@ -18,23 +18,51 @@ import (
 // transforming, each V-list interaction reduces to a pointwise (Hadamard)
 // multiply in frequency space — the "diagonal translation" the paper
 // offloads to the GPU while keeping the per-octant FFTs on the CPU.
+//
+// Both the padded density grids and the kernel grids are real, so all
+// spectra are Hermitian (X[-k] = conj(X[k])) and only the non-redundant
+// half along the innermost axis is computed, stored, and multiplied:
+// HalfLen() = n·n·(n/2+1) complex entries instead of GridLen() = n³. Spectra
+// are stored as structure-of-arrays float64 panels — per component pair, a
+// re panel of HalfLen() followed by an im panel of HalfLen() — which is the
+// layout the Hadamard micro-kernel streams.
+//
+// Translation spectra are not held per-FFTM2L: they depend only on
+// (kernel identity, surface order, level, direction), so they live in a
+// process-wide TranslationCache shared by every Operators instance.
 type FFTM2L struct {
-	ops  *Operators
-	n    int // padded grid edge = 2p
-	plan *fft.Plan3D
+	ops   *Operators
+	n     int // padded grid edge = 2p
+	hl    int // half-spectrum length n·n·(n/2+1)
+	rplan *fft.PlanR3D
 	// surfIdx maps each surface point to its flattened padded-grid index.
 	surfIdx []int
-	// tf caches translation spectra per (level, direction); homogeneous
-	// kernels only populate level 0. tf[key][t*sd+s] is the n³ spectrum of
-	// kernel component (t, s).
-	tf sync.Map // map[uint64][][]complex128
+	cache   *TranslationCache
+	// kid is the kernel's parameter-inclusive identity, the cache-key field
+	// that keeps e.g. different Yukawa screenings apart.
+	kid string
 }
 
-// NewFFTM2L builds the FFT translation machinery for ops.
+// NewFFTM2L builds the FFT translation machinery for ops, backed by the
+// process-wide translation-spectrum cache.
 func NewFFTM2L(ops *Operators) *FFTM2L {
+	return newFFTM2LCache(ops, SharedTranslations)
+}
+
+// newFFTM2LCache is NewFFTM2L with an explicit cache (tests use private
+// caches to control bounds and counters).
+func newFFTM2LCache(ops *Operators, cache *TranslationCache) *FFTM2L {
 	p := ops.Grid.P
 	n := 2 * p
-	f := &FFTM2L{ops: ops, n: n, plan: fft.NewPlan3D(n, n, n)}
+	rp := fft.NewPlanR3D(n, n, n)
+	f := &FFTM2L{
+		ops:   ops,
+		n:     n,
+		hl:    rp.HalfLen(),
+		rplan: rp,
+		cache: cache,
+		kid:   ops.Kern.Name(),
+	}
 	f.surfIdx = make([]int, len(ops.Grid.Coords))
 	for i, c := range ops.Grid.Coords {
 		f.surfIdx[i] = (c[0]*n+c[1])*n + c[2]
@@ -42,40 +70,69 @@ func NewFFTM2L(ops *Operators) *FFTM2L {
 	return f
 }
 
-// GridLen returns the padded grid size n³.
+// GridLen returns the padded real-grid size n³.
 func (f *FFTM2L) GridLen() int { return f.n * f.n * f.n }
 
-// SourceSpectrum pads the upward-equivalent densities u (surface order) into
-// the n³ grid and transforms them: one spectrum per source component.
-func (f *FFTM2L) SourceSpectrum(u []float64) [][]complex128 {
+// HalfLen returns the Hermitian half-spectrum length n·n·(n/2+1).
+func (f *FFTM2L) HalfLen() int { return f.hl }
+
+// SpecLen returns the float64 length of one source spectrum: SrcDim
+// component spectra of 2·HalfLen() (re panel, im panel) each.
+func (f *FFTM2L) SpecLen() int { return f.ops.Kern.SrcDim() * 2 * f.hl }
+
+// AccLen returns the float64 length of one target's frequency-space
+// accumulator: TrgDim component spectra of 2·HalfLen() each.
+func (f *FFTM2L) AccLen() int { return f.ops.Kern.TrgDim() * 2 * f.hl }
+
+// SourceSpectrumInto pads the upward-equivalent densities u (surface order)
+// into the real grid and half-transforms them into dst (length SpecLen()):
+// per source component, a re panel then an im panel. grid is caller scratch
+// of length GridLen().
+func (f *FFTM2L) SourceSpectrumInto(u []float64, dst, grid []float64) {
 	sd := f.ops.Kern.SrcDim()
-	out := make([][]complex128, sd)
+	hl := f.hl
 	for s := 0; s < sd; s++ {
-		g := make([]complex128, f.GridLen())
-		for i, gi := range f.surfIdx {
-			g[gi] = complex(u[i*sd+s], 0)
+		for i := range grid {
+			grid[i] = 0
 		}
-		f.plan.Forward(g)
-		out[s] = g
+		for i, gi := range f.surfIdx {
+			grid[gi] = u[i*sd+s]
+		}
+		o := s * 2 * hl
+		f.rplan.RForward(grid, dst[o:o+hl], dst[o+hl:o+2*hl])
 	}
-	return out
 }
 
-// Translation returns the cached spectra of the kernel translation tensor
-// for a V-list direction at the reference scale (homogeneous kernels). The
-// result is indexed [t*SrcDim+s] with one n³ spectrum per component pair.
-func (f *FFTM2L) Translation(dx, dy, dz int) [][]complex128 {
+// SourceSpectrum is SourceSpectrumInto with freshly allocated buffers.
+func (f *FFTM2L) SourceSpectrum(u []float64) []float64 {
+	dst := make([]float64, f.SpecLen())
+	f.SourceSpectrumInto(u, dst, make([]float64, f.GridLen()))
+	return dst
+}
+
+// Translation returns the cached translation spectra for a V-list direction
+// at the reference scale (homogeneous kernels). The result holds
+// TrgDim·SrcDim component-pair spectra: pair (t, s) occupies
+// [(t·sd+s)·2·hl, (t·sd+s+1)·2·hl) as a re panel then an im panel. The slice
+// is shared through the process-wide cache and must be treated as read-only.
+func (f *FFTM2L) Translation(dx, dy, dz int) []float64 {
 	return f.TranslationAt(0, dx, dy, dz)
 }
 
 // TranslationAt returns the translation spectra for octants at the given
 // level (used directly for non-homogeneous kernels, whose operators cannot
-// be rescaled from a reference level).
-func (f *FFTM2L) TranslationAt(level, dx, dy, dz int) [][]complex128 {
-	key := packLevelDir(level, packDir(dx, dy, dz))
-	if v, ok := f.tf.Load(key); ok {
-		return v.([][]complex128)
-	}
+// be rescaled from a reference level). Spectra come from the process-wide
+// cache: concurrent callers racing on one direction build it exactly once.
+func (f *FFTM2L) TranslationAt(level, dx, dy, dz int) []float64 {
+	key := tfKey{Kern: f.kid, P: f.ops.Grid.P, Level: level, Dir: packDir(dx, dy, dz)}
+	return f.cache.Get(key, func() []float64 {
+		return f.buildTranslation(level, dx, dy, dz)
+	})
+}
+
+// buildTranslation evaluates the kernel translation tensor on the padded
+// lattice and forward-transforms each component pair's real grid.
+func (f *FFTM2L) buildTranslation(level, dx, dy, dz int) []float64 {
 	kern := f.ops.Kern
 	sd, td := kern.SrcDim(), kern.TrgDim()
 	p := f.ops.Grid.P
@@ -86,9 +143,9 @@ func (f *FFTM2L) TranslationAt(level, dx, dy, dz int) [][]complex128 {
 	step := 2 * (RadInner * side * 0.5) / float64(p-1)
 	d := geom.Point{X: float64(dx) * side, Y: float64(dy) * side, Z: float64(dz) * side}
 
-	grids := make([][]complex128, td*sd)
+	grids := make([][]float64, td*sd)
 	for i := range grids {
-		grids[i] = make([]complex128, f.GridLen())
+		grids[i] = make([]float64, f.GridLen())
 	}
 	den := make([]float64, sd)
 	out := make([]float64, td)
@@ -113,43 +170,119 @@ func (f *FFTM2L) TranslationAt(level, dx, dy, dz int) [][]complex128 {
 					}
 					kern.Eval(off, geom.Point{}, den, out)
 					for t := 0; t < td; t++ {
-						grids[t*sd+s][gi] = complex(out[t], 0)
+						grids[t*sd+s][gi] = out[t]
 					}
 				}
 			}
 		}
 	}
-	for i := range grids {
-		f.plan.Forward(grids[i])
+	hl := f.hl
+	spec := make([]float64, td*sd*2*hl)
+	for q := range grids {
+		o := q * 2 * hl
+		f.rplan.RForward(grids[q], spec[o:o+hl], spec[o+hl:o+2*hl])
 	}
-	actual, _ := f.tf.LoadOrStore(key, grids)
-	return actual.([][]complex128)
+	return spec
+}
+
+// vDirs enumerates the 316 V-list directions (the 7³ neighborhood minus the
+// 3³ adjacency core) in ascending packDir order.
+func vDirs() [][3]int {
+	dirs := make([][3]int, 0, 316)
+	for dx := -3; dx <= 3; dx++ {
+		for dy := -3; dy <= 3; dy++ {
+			for dz := -3; dz <= 3; dz++ {
+				if maxAbs3(dx, dy, dz) <= 1 {
+					continue
+				}
+				dirs = append(dirs, [3]int{dx, dy, dz})
+			}
+		}
+	}
+	return dirs
+}
+
+// Prewarm eagerly builds the translation spectra of every V-list direction
+// for each given level, in parallel. Plan construction calls it so the first
+// Apply — and every later plan for the same (kernel, order) anywhere in the
+// process — finds only cache hits; racing prewarms of the same direction
+// coalesce into one computation inside the cache.
+func (f *FFTM2L) Prewarm(levels []int, workers int) {
+	dirs := vDirs()
+	if len(levels) == 0 {
+		levels = []int{0}
+	}
+	par.For(workers, len(levels)*len(dirs), func(k int) {
+		l := levels[k/len(dirs)]
+		d := dirs[k%len(dirs)]
+		f.TranslationAt(l, d[0], d[1], d[2])
+	})
+}
+
+// unpackDir inverts packDir.
+func unpackDir(d uint32) (int, int, int) {
+	return int(d>>16&0xff) - 3, int(d>>8&0xff) - 3, int(d&0xff) - 3
 }
 
 // ExtractCheck inverse-transforms the accumulated frequency-domain check
-// potentials and adds the surface values (scaled) into dst.
-func (f *FFTM2L) ExtractCheck(acc [][]complex128, scale float64, dst []float64) {
+// potentials (acc, length AccLen(), consumed) and adds the surface values
+// (scaled) into dst. grid is caller scratch of length GridLen().
+func (f *FFTM2L) ExtractCheck(acc []float64, scale float64, dst, grid []float64) {
 	td := f.ops.Kern.TrgDim()
+	hl := f.hl
 	for t := 0; t < td; t++ {
-		f.plan.Inverse(acc[t])
+		o := t * 2 * hl
+		f.rplan.RInverse(acc[o:o+hl], acc[o+hl:o+2*hl], grid)
 		for i, gi := range f.surfIdx {
-			dst[i*td+t] += scale * real(acc[t][gi])
+			dst[i*td+t] += scale * grid[gi]
 		}
 	}
 }
 
-// Hadamard accumulates one V-list interaction in frequency space:
-// acc[t] += Σ_s tf[t*sd+s] ⊙ src[s].
-func Hadamard(acc [][]complex128, tf, src [][]complex128, sd int) {
-	for t := range acc {
-		at := acc[t]
+// Hadamard accumulates one V-list interaction in frequency space on SoA
+// half-spectrum panels: acc[t] += Σ_s tf[t·sd+s] ⊙ src[s], with acc of
+// length td·2·hl, tf of td·sd·2·hl, and src of sd·2·hl.
+func Hadamard(acc, tf, src []float64, sd, td, hl int) {
+	for t := 0; t < td; t++ {
+		a := acc[t*2*hl : (t+1)*2*hl]
 		for s := 0; s < sd; s++ {
-			tfts := tf[t*sd+s]
-			ss := src[s]
-			for i := range at {
-				at[i] += tfts[i] * ss[i]
-			}
+			o := (t*sd + s) * 2 * hl
+			tp := tf[o : o+2*hl]
+			sp := src[s*2*hl : (s+1)*2*hl]
+			hadamardPanels(a[:hl], a[hl:], tp[:hl], tp[hl:], sp[:hl], sp[hl:])
 		}
+	}
+}
+
+// hadamardPanels is the register-blocked complex multiply-accumulate
+// micro-kernel over one component pair's panels: (ar,ai) += (tr,ti)·(sr,si)
+// elementwise. The leading reslices pin every panel to one length so the
+// compiler drops the per-element bounds checks, and the two-wide unroll
+// keeps both complex products in registers per iteration. Each element is
+// one fixed expression, so the result is bit-identical to the scalar loop.
+func hadamardPanels(ar, ai, tr, ti, sr, si []float64) {
+	n := len(ar)
+	if n == 0 {
+		return
+	}
+	ai = ai[:n]
+	tr = tr[:n]
+	ti = ti[:n]
+	sr = sr[:n]
+	si = si[:n]
+	i := 0
+	for ; i+1 < n; i += 2 {
+		tr0, ti0, sr0, si0 := tr[i], ti[i], sr[i], si[i]
+		tr1, ti1, sr1, si1 := tr[i+1], ti[i+1], sr[i+1], si[i+1]
+		ar[i] += tr0*sr0 - ti0*si0
+		ai[i] += tr0*si0 + ti0*sr0
+		ar[i+1] += tr1*sr1 - ti1*si1
+		ai[i+1] += tr1*si1 + ti1*sr1
+	}
+	if i < n {
+		tr0, ti0, sr0, si0 := tr[i], ti[i], sr[i], si[i]
+		ar[i] += tr0*sr0 - ti0*si0
+		ai[i] += tr0*si0 + ti0*sr0
 	}
 }
 
@@ -178,27 +311,48 @@ func mod(a, n int) int {
 	return m
 }
 
-// vliFFT is the engine's FFT-based V-list pass: level by level, compute the
-// source spectra once per source octant, Hadamard-accumulate per target,
-// then one inverse FFT per target. Processing is blocked by target to bound
-// the spectrum cache. Each worker accumulates into its scratch's reusable
-// frequency-space buffer and flop counters (sc is indexed by worker).
+// vPair is one V-list interaction inside a target block, by block-local
+// source and target indices.
+type vPair struct {
+	src, tgt int32
+}
+
+// vliFFT is the engine's FFT-based V-list pass: level by level (levels
+// sorted so scheduling and flop ordering are reproducible), targets are
+// processed in fixed-size blocks that bound the live-spectrum footprint.
+// Within a block the interactions are regrouped by translation direction —
+// the paper's translation-vector batching — so each direction's spectrum is
+// resolved once and streamed against every (src, tgt) pair of that class
+// before the next is touched. Workers own contiguous target sub-ranges, so
+// each target's accumulator is written by one worker, in ascending
+// direction-key order: for a fixed target and direction the source octant is
+// unique, which makes the per-target accumulation order well-defined and
+// identical to the DAG path's — the two executors stay bit-identical.
 func (e *Engine) vliFFT(srcSel func(i int32) bool, sc []*evalScratch) {
 	f := e.Ops.FFT()
 	t := e.Tree
 	sd, td := e.Ops.Kern.SrcDim(), e.Ops.Kern.TrgDim()
+	hl := f.HalfLen()
+	specLen, accLen := f.SpecLen(), f.AccLen()
 
 	// Group V-list targets by level (V interactions are same-level).
 	byLevel := make(map[int][]int32)
+	var levels []int
 	for i := range t.Nodes {
 		if !hasSelectedSource(&t.Nodes[i], srcSel) {
 			continue
 		}
 		l := t.Nodes[i].Key.Level()
+		if _, ok := byLevel[l]; !ok {
+			levels = append(levels, l)
+		}
 		byLevel[l] = append(byLevel[l], int32(i))
 	}
-	const block = 256
-	for level, targets := range byLevel {
+	sort.Ints(levels)
+
+	block := e.vBlockSize(accLen)
+	for _, level := range levels {
+		targets := byLevel[level]
 		tfLevel := 0
 		if !e.Ops.Homogeneous() {
 			tfLevel = level
@@ -209,42 +363,87 @@ func (e *Engine) vliFFT(srcSel func(i int32) bool, sc []*evalScratch) {
 				hi = len(targets)
 			}
 			blockTargets := targets[lo:hi]
-			// Collect the sources needed by this block.
-			srcIdx := make(map[int32]int)
+
+			// Collect the block's sources and its interactions grouped by
+			// direction. Pairs append in target order, so each direction's
+			// list is sorted by block-local target index.
+			srcIdx := make(map[int32]int32)
 			var srcs []int32
-			for _, ti := range blockTargets {
+			dirPairs := make(map[uint32][]vPair)
+			var dirs []uint32
+			for bi, ti := range blockTargets {
 				for _, a := range t.Nodes[ti].V {
 					if srcSel != nil && !srcSel(a) {
 						continue
 					}
-					if _, ok := srcIdx[a]; !ok {
-						srcIdx[a] = len(srcs)
+					si, ok := srcIdx[a]
+					if !ok {
+						si = int32(len(srcs))
+						srcIdx[a] = si
 						srcs = append(srcs, a)
 					}
+					dx, dy, dz := dirBetween(t.Nodes[a].Key, t.Nodes[ti].Key)
+					key := packDir(dx, dy, dz)
+					if _, ok := dirPairs[key]; !ok {
+						dirs = append(dirs, key)
+					}
+					dirPairs[key] = append(dirPairs[key], vPair{src: si, tgt: int32(bi)})
 				}
 			}
-			specs := make([][][]complex128, len(srcs))
-			par.For(e.Workers, len(srcs), func(k int) {
-				specs[k] = f.SourceSpectrum(e.U[srcs[k]])
+			sort.Slice(dirs, func(x, y int) bool { return dirs[x] < dirs[y] })
+
+			// Forward-transform the block's sources into the engine's
+			// reusable spectrum buffer.
+			vspec := e.vBuf(&e.vspec, len(srcs)*specLen)
+			par.ForW(e.Workers, len(srcs), func(w, k int) {
+				f.SourceSpectrumInto(e.U[srcs[k]], vspec[k*specLen:(k+1)*specLen], sc[w].grid(f.GridLen()))
 			})
+
+			// Resolve the block's translation spectra (cache hits after the
+			// plan-time prewarm; parallel builds otherwise).
+			tfs := make([][]float64, len(dirs))
+			par.For(e.Workers, len(dirs), func(k int) {
+				dx, dy, dz := unpackDir(dirs[k])
+				tfs[k] = f.TranslationAt(tfLevel, dx, dy, dz)
+			})
+
+			// Direction-major Hadamard streaming over contiguous target
+			// sub-ranges; each direction's pair list is target-sorted, so a
+			// worker's window is one binary-searched contiguous run.
+			vacc := e.vBuf(&e.vacc, len(blockTargets)*accLen)
+			nchunks := 4 * e.barrierWorkers()
+			if nchunks > len(blockTargets) {
+				nchunks = len(blockTargets)
+			}
+			par.ForW(e.Workers, nchunks, func(w, c int) {
+				t0 := c * len(blockTargets) / nchunks
+				t1 := (c + 1) * len(blockTargets) / nchunks
+				if t0 == t1 {
+					return
+				}
+				zero(vacc[t0*accLen : t1*accLen])
+				var pairs int64
+				for k, dir := range dirs {
+					prs := dirPairs[dir]
+					plo := sort.Search(len(prs), func(i int) bool { return int(prs[i].tgt) >= t0 })
+					phi := sort.Search(len(prs), func(i int) bool { return int(prs[i].tgt) >= t1 })
+					tf := tfs[k]
+					for _, pr := range prs[plo:phi] {
+						Hadamard(vacc[int(pr.tgt)*accLen:(int(pr.tgt)+1)*accLen],
+							tf, vspec[int(pr.src)*specLen:(int(pr.src)+1)*specLen], sd, td, hl)
+					}
+					pairs += int64(phi - plo)
+				}
+				sc[w].flops[fpVList] += pairs * int64(8*td*sd*hl)
+			})
+
+			// Inverse-transform each target's accumulator onto its check
+			// surface.
 			par.ForW(e.Workers, len(blockTargets), func(w, bi int) {
 				ti := blockTargets[bi]
-				n := &t.Nodes[ti]
-				s := sc[w]
-				acc := s.fftAcc(td, f.GridLen())
-				for _, a := range n.V {
-					if srcSel != nil && !srcSel(a) {
-						continue
-					}
-					dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
-					tf := f.TranslationAt(tfLevel, dx, dy, dz)
-					Hadamard(acc, tf, specs[srcIdx[a]], sd)
-					s.flops[fpVList] += int64(8 * td * sd * f.GridLen())
-				}
-				scale := e.Ops.KernScale(n.Key.Level())
-				f.ExtractCheck(acc, scale, e.DChk[ti])
+				scale := e.Ops.KernScale(t.Nodes[ti].Key.Level())
+				f.ExtractCheck(vacc[bi*accLen:(bi+1)*accLen], scale, e.DChk[ti], sc[w].grid(f.GridLen()))
 			})
 		}
 	}
-
 }

@@ -1,0 +1,210 @@
+package kifmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/kernel"
+	"kifmm/internal/octree"
+)
+
+// hadamardScalarRef is the straightforward scalar reference of the Hadamard
+// micro-kernel, with the identical per-element expression.
+func hadamardScalarRef(acc, tf, src []float64, sd, td, hl int) {
+	for t := 0; t < td; t++ {
+		ar := acc[t*2*hl : t*2*hl+hl]
+		ai := acc[t*2*hl+hl : (t+1)*2*hl]
+		for s := 0; s < sd; s++ {
+			o := (t*sd + s) * 2 * hl
+			tr, ti := tf[o:o+hl], tf[o+hl:o+2*hl]
+			sr, si := src[s*2*hl:s*2*hl+hl], src[s*2*hl+hl:(s+1)*2*hl]
+			for i := 0; i < hl; i++ {
+				ar[i] += tr[i]*sr[i] - ti[i]*si[i]
+				ai[i] += tr[i]*si[i] + ti[i]*sr[i]
+			}
+		}
+	}
+}
+
+// TestHadamardMatchesScalarReference: the register-blocked micro-kernel must
+// be bit-identical to the scalar loop (same per-element expression), for
+// scalar and multi-component shapes and for odd panel lengths (remainder
+// lane).
+func TestHadamardMatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct{ sd, td, hl int }{
+		{1, 1, 1008}, {1, 1, 7}, {3, 3, 100}, {3, 3, 33}, {1, 3, 50},
+	}
+	for _, c := range cases {
+		acc := make([]float64, c.td*2*c.hl)
+		ref := make([]float64, c.td*2*c.hl)
+		tf := make([]float64, c.td*c.sd*2*c.hl)
+		src := make([]float64, c.sd*2*c.hl)
+		for i := range acc {
+			acc[i] = rng.NormFloat64()
+			ref[i] = acc[i]
+		}
+		for i := range tf {
+			tf[i] = rng.NormFloat64()
+		}
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		Hadamard(acc, tf, src, c.sd, c.td, c.hl)
+		hadamardScalarRef(ref, tf, src, c.sd, c.td, c.hl)
+		for i := range acc {
+			if acc[i] != ref[i] {
+				t.Fatalf("sd=%d td=%d hl=%d: micro-kernel differs from scalar reference at %d: %v vs %v",
+					c.sd, c.td, c.hl, i, acc[i], ref[i])
+			}
+		}
+	}
+}
+
+// vPhaseDChk runs the upward pass plus the V-list phase only and returns the
+// engine (whose DChk then holds pure V-list contributions).
+func vPhaseDChk(t *testing.T, kern kernel.Kernel, dist geom.Distribution, n, q, p int, useFFT bool, workers int) *Engine {
+	t.Helper()
+	pts := geom.Generate(dist, n, 42)
+	tr := octree.Build(pts, q, 20)
+	tr.BuildLists(nil)
+	ops := NewOperators(kern, p, 1e-9)
+	e := NewEngine(ops, tr)
+	e.UseFFTM2L = useFFT
+	e.Workers = workers
+	rng := rand.New(rand.NewSource(7))
+	e.SetPointDensities(randDensities(rng, n, kern.SrcDim()))
+	e.S2U()
+	e.U2U()
+	e.VLI()
+	return e
+}
+
+// dchkRelErr is the global relative L2 difference over all DChk vectors.
+func dchkRelErr(a, b *Engine) float64 {
+	var num, den float64
+	for i := range a.DChk {
+		for j := range a.DChk[i] {
+			d := a.DChk[i][j] - b.DChk[i][j]
+			num += d * d
+			den += b.DChk[i][j] * b.DChk[i][j]
+		}
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestVListFFTMatchesDenseOracle: the FFT-diagonalized V-list phase must
+// reproduce the dense M2L oracle's downward-check potentials to near machine
+// precision (the two paths evaluate the identical linear operator; only FFT
+// roundoff may differ) for every kernel on uniform and ellipsoid trees.
+func TestVListFFTMatchesDenseOracle(t *testing.T) {
+	kernels := []struct {
+		name string
+		kern kernel.Kernel
+		p    int
+	}{
+		{"laplace", kernel.Laplace{}, 6},
+		{"stokes", kernel.Stokes{}, 4},
+		{"yukawa", kernel.Yukawa{Lambda: 5}, 4},
+	}
+	dists := []struct {
+		name string
+		dist geom.Distribution
+	}{
+		{"uniform", geom.Uniform},
+		{"ellipsoid", geom.Ellipsoid},
+	}
+	for _, kc := range kernels {
+		for _, dc := range dists {
+			t.Run(kc.name+"/"+dc.name, func(t *testing.T) {
+				fftE := vPhaseDChk(t, kc.kern, dc.dist, 700, 20, kc.p, true, 4)
+				denseE := vPhaseDChk(t, kc.kern, dc.dist, 700, 20, kc.p, false, 4)
+				if err := dchkRelErr(fftE, denseE); err > 1e-12 {
+					t.Fatalf("%s/%s: FFT V-list vs dense oracle rel err %g > 1e-12",
+						kc.name, dc.name, err)
+				}
+			})
+		}
+	}
+}
+
+// TestVListFFTBarrierDAGBitIdentical: the barrier path's direction-batched
+// streaming and the DAG path's per-target direction-sorted accumulation must
+// produce bit-identical downward-check potentials — both accumulate each
+// target in ascending direction-key order.
+func TestVListFFTBarrierDAGBitIdentical(t *testing.T) {
+	for _, kc := range []struct {
+		name string
+		kern kernel.Kernel
+		p    int
+	}{
+		{"laplace", kernel.Laplace{}, 6},
+		{"yukawa", kernel.Yukawa{Lambda: 5}, 4},
+	} {
+		t.Run(kc.name, func(t *testing.T) {
+			pts := geom.Generate(geom.Ellipsoid, 900, 42)
+			tr := octree.Build(pts, 20, 20)
+			tr.BuildLists(nil)
+			ops := NewOperators(kc.kern, kc.p, 1e-9)
+			rng := rand.New(rand.NewSource(7))
+			den := randDensities(rng, 900, kc.kern.SrcDim())
+
+			barrier := NewEngine(ops, tr)
+			barrier.UseFFTM2L = true
+			barrier.Workers = 4
+			barrier.SetPointDensities(den)
+			barrier.Evaluate()
+
+			dag := NewEngine(ops, tr)
+			dag.UseFFTM2L = true
+			dag.Workers = 4
+			dag.SetPointDensities(den)
+			if _, err := dag.EvaluateDAG(nil); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := range barrier.DChk {
+				for j := range barrier.DChk[i] {
+					if barrier.DChk[i][j] != dag.DChk[i][j] {
+						t.Fatalf("DChk[%d][%d] differs: barrier %v dag %v",
+							i, j, barrier.DChk[i][j], dag.DChk[i][j])
+					}
+				}
+			}
+			for i := range barrier.Potential {
+				if barrier.Potential[i] != dag.Potential[i] {
+					t.Fatalf("potential %d differs: barrier %v dag %v",
+						i, barrier.Potential[i], dag.Potential[i])
+				}
+			}
+		})
+	}
+}
+
+// TestVListBlockOverride: an explicit (tiny) block size must partition the
+// targets without changing the result — per-target accumulation order is
+// block-independent.
+func TestVListBlockOverride(t *testing.T) {
+	a := vPhaseDChk(t, kernel.Laplace{}, geom.Ellipsoid, 700, 20, 6, true, 4)
+	b := vPhaseDChk(t, kernel.Laplace{}, geom.Ellipsoid, 700, 20, 6, true, 4)
+	b.Reset()
+	b.VBlock = 3
+	rng := rand.New(rand.NewSource(7))
+	b.SetPointDensities(randDensities(rng, 700, 1))
+	b.S2U()
+	b.U2U()
+	b.VLI()
+	for i := range a.DChk {
+		for j := range a.DChk[i] {
+			if a.DChk[i][j] != b.DChk[i][j] {
+				t.Fatalf("block override changed DChk[%d][%d]: %v vs %v",
+					i, j, a.DChk[i][j], b.DChk[i][j])
+			}
+		}
+	}
+}

@@ -175,10 +175,10 @@ func TestFFTTranslationMatchesDenseM2L(t *testing.T) {
 
 		spec := f.SourceSpectrum(u)
 		tf := f.Translation(dir[0], dir[1], dir[2])
-		acc := [][]complex128{make([]complex128, f.GridLen())}
-		Hadamard(acc, tf, spec, 1)
+		acc := make([]float64, f.AccLen())
+		Hadamard(acc, tf, spec, 1, 1, f.HalfLen())
 		got := make([]float64, ops.CheckLen())
-		f.ExtractCheck(acc, 1.0, got)
+		f.ExtractCheck(acc, 1.0, got, make([]float64, f.GridLen()))
 
 		for i := range want {
 			if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {

@@ -208,10 +208,16 @@ func (s *Server) buildPlan(id string, pts [][3]float64, opts SolverOptions) (*Ca
 	if err != nil {
 		return nil, err
 	}
+	tf0 := kifmm.TranslationCache()
 	plan, err := solver.Plan(ToPoints(pts))
 	if err != nil {
 		return nil, err
 	}
+	// Attribute the plan's translation-spectrum prewarm to the profile: a
+	// hit-only delta means the process-wide cache absorbed the precompute.
+	tf1 := kifmm.TranslationCache()
+	s.prof.AddCounter(diag.CounterTFCacheHits, tf1.Hits-tf0.Hits)
+	s.prof.AddCounter(diag.CounterTFCacheMisses, tf1.Misses-tf0.Misses)
 	plan.SetProfile(s.prof)
 	return &CachedPlan{
 		ID:        id,
@@ -386,6 +392,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "fmmserve_tasks_completed_total %d\n", ps.Completed)
 	fmt.Fprintf(w, "fmmserve_tasks_rejected_total %d\n", ps.Rejected)
 	fmt.Fprintf(w, "fmmserve_tasks_expired_total %d\n", ps.Expired)
+	tf := kifmm.TranslationCache()
+	fmt.Fprintf(w, "fmmserve_tf_cache_hits_total %d\n", tf.Hits)
+	fmt.Fprintf(w, "fmmserve_tf_cache_misses_total %d\n", tf.Misses)
+	fmt.Fprintf(w, "fmmserve_tf_cache_evictions_total %d\n", tf.Evictions)
+	fmt.Fprintf(w, "fmmserve_tf_cache_entries %d\n", tf.Entries)
+	fmt.Fprintf(w, "fmmserve_tf_cache_bytes %d\n", tf.Bytes)
+	fmt.Fprintf(w, "fmmserve_tf_cache_max_bytes %d\n", tf.MaxBytes)
 	if s.traces != nil {
 		fmt.Fprintf(w, "fmmserve_traces_written_total %d\n", s.traces.Written())
 	}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tfCacheCounters scrapes the translation-cache counters off /metrics.
+func tfCacheCounters(t *testing.T, client *http.Client, url string) (hits, misses int64) {
+	t.Helper()
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	found := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "fmmserve_tf_cache_hits_total":
+			hits, found = v, found+1
+		case "fmmserve_tf_cache_misses_total":
+			misses, found = v, found+1
+		}
+	}
+	if found != 2 {
+		t.Fatalf("tf-cache counters missing from /metrics")
+	}
+	return hits, misses
+}
+
+// TestPlanReusesWarmedTranslationSpectra: after one plan for a (kernel,
+// order) pair has prewarmed the process-wide translation cache, building a
+// second, distinct plan (different points — a plan-cache miss) must reuse
+// every warmed spectrum: its prewarm shows up as cache hits with zero new
+// misses on /metrics.
+func TestPlanReusesWarmedTranslationSpectra(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	opts := SolverOptions{Kernel: "laplace", Order: 5, PointsPerBox: 40, Workers: 2}
+	ptsA, _ := testPoints(300, 11)
+	ptsB, _ := testPoints(300, 12)
+
+	var planA PlanResponse
+	if code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/plan",
+		PlanRequest{Points: ptsA, Options: opts}, &planA); code != http.StatusOK {
+		t.Fatalf("plan A: %d %s", code, raw)
+	}
+	hits0, misses0 := tfCacheCounters(t, ts.Client(), ts.URL)
+
+	var planB PlanResponse
+	if code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/plan",
+		PlanRequest{Points: ptsB, Options: opts}, &planB); code != http.StatusOK {
+		t.Fatalf("plan B: %d %s", code, raw)
+	}
+	if planB.Cached || planB.PlanID == planA.PlanID {
+		t.Fatalf("plan B should be a distinct plan-cache miss: %+v vs %+v", planB, planA)
+	}
+	hits1, misses1 := tfCacheCounters(t, ts.Client(), ts.URL)
+
+	if misses1 != misses0 {
+		t.Fatalf("plan B recomputed %d translation spectra; want all reused from the warm cache",
+			misses1-misses0)
+	}
+	// Plan B's prewarm touches all 316 V-list directions; every touch must
+	// have been a hit.
+	if hits1-hits0 < 316 {
+		t.Fatalf("plan B produced only %d cache hits, want >= 316", hits1-hits0)
+	}
+
+	// The server profile attributes the same deltas per build.
+	if got := s.Profile().Counter("tf_cache_misses"); got < 0 {
+		t.Fatalf("profile miss counter negative: %d", got)
+	}
+	if got := s.Profile().Counter("tf_cache_hits"); got < 316 {
+		t.Fatalf("profile hit counter %d, want >= 316 after a warmed rebuild", got)
+	}
+}

@@ -2,6 +2,7 @@ package kifmm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -58,7 +59,42 @@ func (f *FMM) Plan(points []Point) (*Plan, error) {
 		tree = octree.Build(gpts, f.opt.PointsPerBox, f.opt.MaxDepth)
 	}
 	tree.BuildLists(nil)
+	if !f.opt.DenseM2L {
+		// Eagerly build every V-list translation spectrum the plan can touch,
+		// in parallel, so the first Apply pays no lazy spectrum builds. The
+		// spectra land in the process-wide cache: later plans for the same
+		// (kernel, order) — including fmmserve plan-cache misses — find only
+		// hits here instead of repaying the full precompute.
+		levels := []int{0}
+		if !f.ops.Homogeneous() {
+			seen := make(map[int]bool)
+			for i := range tree.Nodes {
+				if len(tree.Nodes[i].V) > 0 {
+					seen[tree.Nodes[i].Key.Level()] = true
+				}
+			}
+			levels = levels[:0]
+			for l := range seen {
+				levels = append(levels, l)
+			}
+			sort.Ints(levels)
+		}
+		f.ops.FFT().Prewarm(levels, f.opt.Workers)
+	}
 	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops), n: len(points)}, nil
+}
+
+// TranslationCacheStats is a snapshot of the process-wide V-list
+// translation-spectrum cache counters (see TranslationCache).
+type TranslationCacheStats = ikifmm.TranslationCacheStats
+
+// TranslationCache returns the counters of the process-wide translation
+// spectrum cache shared by every solver: spectra are keyed by (kernel
+// identity, surface order, level, direction), built once under singleflight,
+// and evicted LRU under a byte bound. The serving layer exposes these on
+// /metrics.
+func TranslationCache() TranslationCacheStats {
+	return ikifmm.SharedTranslations.Stats()
 }
 
 // NumPoints returns the number of points the plan was built for.
@@ -111,6 +147,7 @@ func (p *Plan) getEngine() *ikifmm.Engine {
 		eng = ikifmm.NewEngineLayout(p.f.ops, p.tree, p.layout)
 		eng.UseFFTM2L = !p.f.opt.DenseM2L
 		eng.Workers = p.f.opt.Workers
+		eng.VBlock = p.f.opt.VListBlock
 	} else {
 		eng.Reset()
 	}
