@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-nearfield bench-json bench-smoke sched-stress ci
+.PHONY: build vet test race bench bench-nearfield bench-json bench-smoke sched-stress lint ci
 
 build:
 	$(GO) build ./...
@@ -36,9 +36,18 @@ bench-json:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Repeated race runs of the work-stealing scheduler (randomized-DAG
-# property tests are seeded per run, so -count=5 explores new graphs).
+# Repeated race runs of the work-stealing scheduler and the par shim
+# (randomized-DAG property tests are seeded per run, so -count=5 explores
+# new graphs; par's ForW exclusivity contract makes any violation a
+# reported race rather than a flaky count).
 sched-stress:
-	$(GO) test -race -count=5 ./internal/sched/...
+	$(GO) test -race -count=5 ./internal/sched/... ./internal/par/...
 
-ci: build vet race sched-stress bench-smoke
+# Project-specific static analysis (DESIGN.md §7.5): build the fmmvet
+# multichecker and run it over the tree through `go vet -vettool`, so
+# results are cached by the go build cache like any other vet run.
+lint:
+	$(GO) build -o bin/fmmvet ./cmd/fmmvet
+	$(GO) vet -vettool=bin/fmmvet ./...
+
+ci: build vet lint race sched-stress bench-smoke

@@ -1,0 +1,38 @@
+// Command fmmvet is the project's static-analysis suite: five analyzers
+// enforcing the determinism, hot-path allocation, and concurrency
+// invariants the FMM engine depends on.
+//
+// Run standalone:
+//
+//	go run ./cmd/fmmvet ./...
+//
+// or as a vet tool (cached by the go build cache, used by `make lint`):
+//
+//	go build -o bin/fmmvet ./cmd/fmmvet
+//	go vet -vettool=bin/fmmvet ./...
+//
+// See DESIGN.md §7.5 for the annotation grammar (//fmm:hotpath,
+// //fmm:deterministic, //fmm:allow) and each analyzer's package doc for its
+// rationale.
+package main
+
+import (
+	"os"
+
+	"kifmm/internal/analysis"
+	"kifmm/internal/analysis/diagbatch"
+	"kifmm/internal/analysis/hotalloc"
+	"kifmm/internal/analysis/locksafe"
+	"kifmm/internal/analysis/mapiter"
+	"kifmm/internal/analysis/nodeterm"
+)
+
+func main() {
+	os.Exit(analysis.Main([]*analysis.Analyzer{
+		mapiter.Analyzer,
+		hotalloc.Analyzer,
+		diagbatch.Analyzer,
+		nodeterm.Analyzer,
+		locksafe.Analyzer,
+	}))
+}

@@ -1,0 +1,208 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver machinery to run the
+// project's custom vet checks (cmd/fmmvet) over typechecked packages. The
+// container this repo builds in has no module proxy access, so the framework
+// is implemented on the standard library alone (go/ast, go/types,
+// go/importer) and kept deliberately minimal: analyzers, a Pass carrying one
+// typechecked package, plain position-based diagnostics, and the fmm
+// annotation grammar (annot.go) that scopes the checks.
+//
+// Three drivers share this package:
+//
+//   - unit.go speaks the `go vet -vettool` JSON config protocol, so the
+//     multichecker runs under the standard build cache with per-package
+//     export data (make lint).
+//   - load.go is a standalone loader (go list + source typechecking) for
+//     running fmmvet without the vet driver.
+//   - analysistest runs one analyzer over a fixture directory and checks
+//     diagnostics against // want comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fmm:allow suppressions. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and the
+	// fix or suppression expected for violations.
+	Doc string
+	// Run reports diagnostics on pass via pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test files. Test files participate in
+	// typechecking but are never analyzed: the invariants fmmvet enforces
+	// (determinism, allocation-free hot paths) are properties of the
+	// shipped evaluation code, and tests legitimately use maps, clocks and
+	// allocation freely.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Annot holds the package's parsed fmm annotations.
+	Annot *Annotations
+
+	diags []Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.diags = append(p.diags, d)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunAnalyzers runs every analyzer over the package, applies the
+// //fmm:allow suppressions, and returns the surviving diagnostics sorted by
+// position: the violations plus one diagnostic (analyzer "fmmvet") per
+// malformed or unused suppression, so a suppression without a justification
+// — or one that no longer suppresses anything — fails the build instead of
+// rotting silently.
+func RunAnalyzers(pkg *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
+	annot := ParseAnnotations(pkg.Fset, pkg.Files)
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Annot:     annot,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		all = append(all, pass.diags...)
+	}
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	kept := annot.Filter(all, names)
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// PackageInfo is one loaded, typechecked package as the drivers hand it to
+// RunAnalyzers. Files excludes test files (see Pass.Files).
+type PackageInfo struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// IsTestFile reports whether filename is a _test.go file.
+func IsTestFile(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}
+
+// FuncsOf walks every function declaration with a body in the files,
+// invoking fn with each declaration.
+func FuncsOf(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// PkgFunc resolves a call expression to (package path, function or method
+// name, receiver named-type name). For a method call the receiver type name
+// is the named type's Obj().Name(); for package-level functions it is "".
+// ok is false when the callee cannot be resolved (builtins, type
+// conversions, calls through function-typed variables).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name, recv string, ok bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, okk := info.Uses[fun]
+		if !okk || obj.Pkg() == nil {
+			return "", "", "", false
+		}
+		if _, isFn := obj.(*types.Func); !isFn {
+			return "", "", "", false
+		}
+		return obj.Pkg().Path(), obj.Name(), "", true
+	case *ast.SelectorExpr:
+		if sel, okk := info.Selections[fun]; okk {
+			// Method (or method value) call.
+			f, isFn := sel.Obj().(*types.Func)
+			if !isFn {
+				return "", "", "", false
+			}
+			rt := sel.Recv()
+			for {
+				p, isPtr := rt.Underlying().(*types.Pointer)
+				if !isPtr {
+					break
+				}
+				rt = p.Elem()
+			}
+			rname := ""
+			if n, isNamed := rt.(*types.Named); isNamed {
+				rname = n.Obj().Name()
+			}
+			if f.Pkg() == nil {
+				return "", "", "", false
+			}
+			return f.Pkg().Path(), f.Name(), rname, true
+		}
+		// Qualified identifier pkg.Fn.
+		obj, okk := info.Uses[fun.Sel]
+		if !okk || obj.Pkg() == nil {
+			return "", "", "", false
+		}
+		if _, isFn := obj.(*types.Func); !isFn {
+			return "", "", "", false
+		}
+		return obj.Pkg().Path(), obj.Name(), "", true
+	}
+	return "", "", "", false
+}

@@ -1,0 +1,66 @@
+// Package diagbatch flags per-item diagnostics calls inside //fmm:hotpath
+// functions.
+//
+// diag.Profile guards its maps with a mutex, so every AddFlops/AddTime/
+// AddCounter/Start call is a lock acquisition plus map lookup. Calling it
+// once per octant (or worse, once per source point) from a phase body
+// serializes the workers on the profile lock — the exact contention PR 3
+// removed by accumulating flop counts in per-worker scratch and flushing
+// once per task via AddFlopsBatch. This analyzer keeps it removed: inside a
+// hot function, per-item counter calls must be batched into a local
+// accumulator and flushed outside the hot region (or at coarse task
+// granularity with an //fmm:allow diagbatch justification).
+package diagbatch
+
+import (
+	"go/ast"
+	"strings"
+
+	"kifmm/internal/analysis"
+)
+
+// perItem is the set of diag.Profile methods that take the profile lock per
+// call. Batch variants (AddFlopsBatch) are the sanctioned alternative and
+// are not listed.
+var perItem = map[string]bool{
+	"AddFlops":   true,
+	"AddTime":    true,
+	"AddCounter": true,
+	"Start":      true,
+}
+
+// Analyzer flags per-item diag counter calls in //fmm:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "diagbatch",
+	Doc:  "flags per-item diag.Profile counter calls in //fmm:hotpath functions (batch via AddFlopsBatch)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Annot.HotFuncs(func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, recv, ok := analysis.PkgFunc(pass.TypesInfo, call)
+			if !ok || !perItem[name] {
+				return true
+			}
+			if !isDiagPkg(pkg) || recv != "Profile" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"per-item diag.Profile.%s in hot path; accumulate locally and flush with %sBatch outside the hot region",
+				name, name)
+			return true
+		})
+	})
+	return nil
+}
+
+// isDiagPkg matches the real package (kifmm/internal/diag) and fixture
+// stubs of it (any import path ending in /diag, or the bare "diag").
+func isDiagPkg(pkg string) bool {
+	return pkg == "diag" || strings.HasSuffix(pkg, "/diag")
+}

@@ -1,0 +1,12 @@
+package diagbatch_test
+
+import (
+	"testing"
+
+	"kifmm/internal/analysis/analysistest"
+	"kifmm/internal/analysis/diagbatch"
+)
+
+func TestDiagBatch(t *testing.T) {
+	analysistest.Run(t, "testdata", diagbatch.Analyzer, "hotdiag")
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Main is the entry point shared by cmd/fmmvet: it dispatches between the
+// `go vet -vettool` protocol (argument is a *.cfg file; also the -V=full and
+// -flags handshakes) and the standalone mode (arguments are package
+// patterns, loaded via `go list`). It returns the process exit code.
+func Main(analyzers []*Analyzer) int {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// The go command caches vet results keyed by this string, so it
+			// must change whenever the tool's behavior might: hash the
+			// executable itself, as x/tools' unitchecker does.
+			fmt.Printf("fmmvet version %s\n", executableChecksum())
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		case "-h", "-help", "--help":
+			usage(analyzers)
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0], analyzers)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	return runStandalone(args, analyzers)
+}
+
+func usage(analyzers []*Analyzer) {
+	fmt.Println("fmmvet: project-specific static analysis for the kifmm tree.")
+	fmt.Println()
+	fmt.Println("usage: fmmvet [packages]          standalone over go list patterns")
+	fmt.Println("       go vet -vettool=$(which fmmvet) ./...   as a vet tool")
+	fmt.Println()
+	fmt.Println("analyzers:")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-10s %s\n", a.Name, doc)
+	}
+}
+
+func runStandalone(patterns []string, analyzers []*Analyzer) int {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fmmvet:", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fmmvet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func executableChecksum() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,191 @@
+// Package hotalloc flags allocation sources inside //fmm:hotpath functions.
+//
+// The per-octant phase bodies, the batched near-field micro-kernels, the
+// Hadamard/FFT inner loops, and the scheduler's deque operations run
+// millions of times per evaluation; PR 3/4 took one V-list pass from ~925k
+// allocations to ~10.5k by moving every temporary into per-worker scratch.
+// That property regresses silently — a stray append, boxing conversion, or
+// closure reintroduces per-item garbage with no test failing — so hotpath
+// functions are machine-checked for the constructs that allocate:
+//
+//   - make/new and escaping composite literals (&T{...}, slice/map/func
+//     literals)
+//   - append (any append can grow its backing array)
+//   - conversions to slice, map, or between string and byte/rune slices
+//   - implicit interface boxing: a concrete value passed to an
+//     interface-typed parameter or assigned to an interface variable
+//   - fmt.* calls (allocate via ...any boxing and internal buffers)
+//   - go statements (goroutine spawn)
+//   - string concatenation
+//
+// Amortized growth of reusable scratch inside a hot body is legitimate and
+// carries an //fmm:allow hotalloc <reason> suppression; everything else is
+// a bug or belongs outside the annotated function.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kifmm/internal/analysis"
+)
+
+// Analyzer flags allocation sources in //fmm:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocations, growing appends, boxing, closures and fmt in //fmm:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Annot.HotFuncs(func(fd *ast.FuncDecl) {
+		info := pass.TypesInfo
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, e)
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); isLit {
+						pass.Reportf(e.Pos(), "escaping composite literal (&T{...}) in hot path")
+					}
+				}
+			case *ast.CompositeLit:
+				switch info.TypeOf(e).Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(e.Pos(), "slice literal allocates in hot path")
+				case *types.Map:
+					pass.Reportf(e.Pos(), "map literal allocates in hot path")
+				}
+			case *ast.FuncLit:
+				pass.Reportf(e.Pos(), "closure (func literal) allocates in hot path")
+				return false // its body is not part of the annotated hot code
+			case *ast.GoStmt:
+				pass.Reportf(e.Pos(), "goroutine spawn in hot path")
+			case *ast.BinaryExpr:
+				if e.Op == token.ADD && isString(info.TypeOf(e)) {
+					pass.Reportf(e.Pos(), "string concatenation allocates in hot path")
+				}
+			case *ast.AssignStmt:
+				checkAssignBoxing(pass, e)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Type conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		to := tv.Type
+		from := info.TypeOf(call.Args[0])
+		switch to.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			if from == nil || !types.Identical(from.Underlying(), to.Underlying()) {
+				pass.Reportf(call.Pos(), "conversion to %s allocates in hot path", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+			}
+		}
+		if isString(to) && from != nil && !isString(from) && !isUntypedConst(from) {
+			pass.Reportf(call.Pos(), "conversion to string allocates in hot path")
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot path")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hot path")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in hot path")
+			}
+			return
+		}
+	}
+	// fmt calls.
+	if pkg, name, _, ok := analysis.PkgFunc(info, call); ok && pkg == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s call in hot path (boxing + buffer allocation)", name)
+		return
+	}
+	// Interface boxing at call boundaries.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, pt, arg) {
+			pass.Reportf(arg.Pos(), "argument boxed into interface %s in hot path",
+				types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+func checkAssignBoxing(pass *analysis.Pass, s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	info := pass.TypesInfo
+	for i, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		var lt types.Type
+		if s.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		} else {
+			lt = info.TypeOf(lhs)
+		}
+		if lt == nil {
+			continue
+		}
+		if boxes(info, lt, s.Rhs[i]) {
+			pass.Reportf(s.Rhs[i].Pos(), "value boxed into interface %s in hot path",
+				types.TypeString(lt, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst performs
+// an interface conversion of a concrete value.
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	at := info.TypeOf(expr)
+	if at == nil || types.IsInterface(at) {
+		return false
+	}
+	if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedConst(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsUntyped != 0
+}

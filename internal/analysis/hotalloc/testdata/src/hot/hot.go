@@ -1,0 +1,101 @@
+package hot
+
+import "fmt"
+
+type vec struct{ x, y, z float64 }
+
+type sink interface{ consume(int) }
+
+func takeAny(v any)      { _ = v }
+func takeInt(v int)      { _ = v }
+func variadic(vs ...any) { _ = vs }
+func scale(v vec) vec    { return v }
+func fill(dst []float64) { _ = dst }
+func helper() *[]float64 { return nil }
+
+// Builtins allocates via make, new, and append.
+//
+//fmm:hotpath
+func Builtins(n int) []float64 {
+	buf := make([]float64, n) // want `make allocates in hot path`
+	p := new(vec)             // want `new allocates in hot path`
+	_ = p
+	buf = append(buf, 1.0) // want `append may grow its backing array in hot path`
+	return buf
+}
+
+// Literals allocates via composite literals and closures.
+//
+//fmm:hotpath
+func Literals() {
+	v := &vec{1, 2, 3} // want `escaping composite literal`
+	_ = v
+	s := []float64{1, 2} // want `slice literal allocates in hot path`
+	_ = s
+	m := map[int]int{} // want `map literal allocates in hot path`
+	_ = m
+	f := func() {} // want `closure \(func literal\) allocates in hot path`
+	f()
+}
+
+// ValueLit builds a struct by value: no heap allocation, not flagged.
+//
+//fmm:hotpath
+func ValueLit() vec {
+	return scale(vec{1, 2, 3})
+}
+
+// Boxing converts concrete values to interfaces.
+//
+//fmm:hotpath
+func Boxing(n int) {
+	takeAny(n) // want `argument boxed into interface any in hot path`
+	takeInt(n)
+	var i interface{ consume(int) }
+	_ = i
+	var a any
+	a = n // want `value boxed into interface any in hot path`
+	_ = a
+}
+
+// Fmt calls allocate; one diagnostic per call.
+//
+//fmm:hotpath
+func Fmt(x float64) {
+	fmt.Println(x) // want `fmt.Println call in hot path`
+}
+
+// Spawn launches a goroutine.
+//
+//fmm:hotpath
+func Spawn(done chan struct{}) {
+	go func() { close(done) }() // want `goroutine spawn in hot path` `closure \(func literal\) allocates in hot path`
+}
+
+// Strings concatenates and converts.
+//
+//fmm:hotpath
+func Strings(a, b string, bs []byte) string {
+	s := a + b      // want `string concatenation allocates in hot path`
+	t := string(bs) // want `conversion to string allocates in hot path`
+	u := []byte(a)  // want `conversion to \[\]byte allocates in hot path`
+	_ = u
+	return s + t // want `string concatenation allocates in hot path`
+}
+
+// Allowed grows reusable scratch with a justified suppression.
+//
+//fmm:hotpath
+func Allowed(scratch []float64, v float64) []float64 {
+	scratch = append(scratch, v) //fmm:allow hotalloc amortized scratch growth, reused across calls
+	return scratch
+}
+
+// Cold is unannotated: the same constructs are fine here.
+func Cold(n int) []float64 {
+	buf := make([]float64, n)
+	buf = append(buf, 1)
+	takeAny(n)
+	fmt.Println(n)
+	return buf
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"kifmm/internal/analysis/analysistest"
+	"kifmm/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "locks")
+}

@@ -1,0 +1,97 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guard embeds a mutex; holding one by value copies the lock state.
+type Guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(g Guard) { // want `parameter passes lock by value: locks.Guard contains a sync primitive`
+	_ = g
+}
+
+func Make() Guard { // want `result passes lock by value: locks.Guard contains a sync primitive`
+	return Guard{}
+}
+
+func CopyDeref(p *Guard) {
+	g := *p // want `assignment copies lock value of type locks.Guard`
+	_ = g
+}
+
+func CopyMutex(p *sync.Mutex) {
+	m := *p // want `assignment copies lock value of type sync.Mutex`
+	_ = m
+}
+
+func RangeCopy(gs []Guard) int {
+	n := 0
+	for _, g := range gs { // want `range copies lock value of type locks.Guard`
+		_ = g
+		n++
+	}
+	return n
+}
+
+// ByPointer is the correct shape everywhere above: nothing flagged.
+func ByPointer(g *Guard) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// counter mixes an atomically-updated field with a plain one.
+type counter struct {
+	n    int32
+	safe atomic.Int32
+}
+
+func Bump(c *counter) {
+	atomic.AddInt32(&c.n, 1)
+}
+
+func Read(c *counter) int32 {
+	return c.n // want `plain access to field n, elsewhere accessed via sync/atomic \(AddInt32\)`
+}
+
+// CleanAtomic uses the typed atomic wrapper: every access is atomic by
+// construction, nothing to mix.
+func CleanAtomic(c *counter) int32 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func UnlockOnly(mu *sync.Mutex) {
+	mu.Unlock() // want `mu.Unlock with no preceding mu.Lock in this function`
+}
+
+func RUnlockOnly(mu *sync.RWMutex) {
+	mu.RUnlock() // want `mu.RUnlock with no preceding mu.RLock in this function`
+}
+
+// EarlyExit unlocks on two disjoint paths after one lock: the normal idiom,
+// not flagged.
+func EarlyExit(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// Deferred pairs lock with a deferred unlock.
+func Deferred(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Handoff releases a lock taken by the caller; justified suppression.
+func Handoff(mu *sync.Mutex) {
+	mu.Unlock() //fmm:allow locksafe lock ownership transferred from caller
+}

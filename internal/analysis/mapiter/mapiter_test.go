@@ -1,0 +1,20 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"kifmm/internal/analysis/analysistest"
+	"kifmm/internal/analysis/mapiter"
+)
+
+func TestPackageScope(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "det")
+}
+
+func TestFunctionScope(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "fn")
+}
+
+func TestAllowDiagnostics(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "allowerr")
+}

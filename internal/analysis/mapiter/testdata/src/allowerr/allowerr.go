@@ -1,0 +1,25 @@
+//fmm:deterministic
+package allowerr
+
+// Suppressions are themselves checked: missing reason, unknown analyzer,
+// and allows that suppress nothing are driver ("fmmvet") diagnostics.
+
+func MissingReason(m map[int]int) int {
+	n := 0
+	for range m { //fmm:allow mapiter // want `malformed //fmm:allow` `range over map in deterministic scope`
+		n++
+	}
+	return n
+}
+
+func UnknownAnalyzer(m map[int]int) int {
+	n := 0
+	for range m { //fmm:allow mapitr typo in analyzer name // want `unknown analyzer mapitr` `range over map in deterministic scope`
+		n++
+	}
+	return n
+}
+
+func UnusedAllow(m map[int]int) {
+	_ = m //fmm:allow mapiter nothing here to suppress // want `unused //fmm:allow mapiter`
+}

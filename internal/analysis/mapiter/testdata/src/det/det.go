@@ -1,0 +1,85 @@
+//fmm:deterministic
+package det
+
+import "sort"
+
+// Bad builds output in map order: flagged.
+func Bad(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `range over map in deterministic scope \(Bad\)`
+		if v > 0 {
+			out = append(out, k)
+		}
+		_ = v
+	}
+	return out
+}
+
+// Collect is the exempt idiom: collect keys, then sort, then iterate.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectGuarded collects under an else-less if; still exempt.
+func CollectGuarded(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectCustom sorts with a project helper whose name contains "Sort"
+// (morton.SortKeys in the real tree); exempt.
+func CollectCustom(m map[uint64]int) []uint64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	SortKeys(keys)
+	return keys
+}
+
+// CollectDedup guards the append with a short-variable init (the octree
+// Assemble shape); still exempt.
+func CollectDedup(m map[string]int, seen map[string]bool) []string {
+	var keys []string
+	for k := range m {
+		if _, dup := seen[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectUnsorted collects but never sorts: the order still leaks; flagged.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map in deterministic scope \(CollectUnsorted\)`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Allowed carries a justified suppression on the range line.
+func Allowed(m map[string]int) int {
+	n := 0
+	for range m { //fmm:allow mapiter order-insensitive count
+		n++
+	}
+	return n
+}
+
+// SortKeys stands in for morton.SortKeys.
+func SortKeys(k []uint64) {
+	sort.Slice(k, func(i, j int) bool { return k[i] < k[j] })
+}

@@ -1,0 +1,23 @@
+// Package fn has no package-level marker: only annotated functions are in
+// deterministic scope.
+package fn
+
+// Wire is marked deterministic; its map range is flagged.
+//
+//fmm:deterministic
+func Wire(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `range over map in deterministic scope \(Wire\)`
+		s += v
+	}
+	return s
+}
+
+// Stats is unmarked: map iteration is fine here.
+func Stats(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

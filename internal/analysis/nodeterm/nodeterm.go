@@ -1,0 +1,76 @@
+// Package nodeterm bans nondeterministic inputs inside deterministic scope.
+//
+// The FMM pipeline promises bit-identical results for a fixed input and
+// plan, independent of wall-clock time, scheduling, and machine shape. Any
+// numeric kernel that reads time.Now, draws from math/rand, or branches on
+// runtime.GOMAXPROCS/NumCPU breaks that promise in ways no unit test
+// reliably catches (the failure needs a different machine or a lucky seed).
+//
+// Scope: functions annotated //fmm:deterministic and all functions of
+// packages whose package clause carries the marker. Flagged:
+//
+//   - any call into math/rand or math/rand/v2
+//   - time.Now, time.Since, time.Until (reading the clock; timers like
+//     time.Sleep are flagged too — a deterministic kernel has no business
+//     blocking on wall time)
+//   - runtime.GOMAXPROCS, runtime.NumCPU, runtime.NumGoroutine
+//
+// Legitimate uses — sizing a scratch pool by worker count where the values
+// never feed the numerics — carry //fmm:allow nodeterm with the reason
+// spelled out.
+package nodeterm
+
+import (
+	"go/ast"
+
+	"kifmm/internal/analysis"
+)
+
+var banned = map[string]map[string]bool{
+	"time": {
+		"Now":   true,
+		"Since": true,
+		"Until": true,
+		"Sleep": true,
+		"After": true,
+		"Tick":  true,
+	},
+	"runtime": {
+		"GOMAXPROCS":   true,
+		"NumCPU":       true,
+		"NumGoroutine": true,
+	},
+}
+
+// Analyzer flags clock, RNG, and machine-shape reads in deterministic scope.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc:  "flags time.Now, math/rand, and GOMAXPROCS-dependent calls in //fmm:deterministic scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Annot.DetFuncs(func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, _, ok := analysis.PkgFunc(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			if pkg == "math/rand" || pkg == "math/rand/v2" {
+				pass.Reportf(call.Pos(),
+					"%s.%s in deterministic scope; thread an explicit seeded source through the plan instead", pkg, name)
+				return true
+			}
+			if banned[pkg][name] {
+				pass.Reportf(call.Pos(),
+					"%s.%s in deterministic scope; results must not depend on wall clock or machine shape", pkg, name)
+			}
+			return true
+		})
+	})
+	return nil
+}

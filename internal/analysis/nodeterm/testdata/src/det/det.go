@@ -1,0 +1,39 @@
+//fmm:deterministic
+package det
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// Clock reads wall time inside deterministic scope.
+func Clock() int64 {
+	t := time.Now() // want `time.Now in deterministic scope`
+	time.Sleep(0)   // want `time.Sleep in deterministic scope`
+	return t.Unix()
+}
+
+// RNG draws from the global math/rand source.
+func RNG() float64 {
+	return rand.Float64() // want `math/rand.Float64 in deterministic scope`
+}
+
+// Shape branches on machine shape.
+func Shape() int {
+	if runtime.NumCPU() > 4 { // want `runtime.NumCPU in deterministic scope`
+		return runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS in deterministic scope`
+	}
+	return 1
+}
+
+// ScratchSizing sizes per-worker buffers: values never feed the numerics,
+// so the read carries a justified suppression.
+func ScratchSizing() int {
+	return runtime.GOMAXPROCS(0) //fmm:allow nodeterm scratch pool sizing only, not numerics
+}
+
+// Pure is deterministic arithmetic: nothing to flag.
+func Pure(x float64) float64 {
+	return x*x + 1
+}

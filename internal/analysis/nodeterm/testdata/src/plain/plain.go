@@ -1,0 +1,12 @@
+// Package plain has no deterministic marker: clocks and RNG are fine.
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Seeded() float64 {
+	_ = time.Now()
+	return rand.Float64()
+}

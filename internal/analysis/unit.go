@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// unitConfig mirrors the JSON configuration the go command writes for each
+// package when invoked as `go vet -vettool=fmmvet`: the compilation unit's
+// files plus the import map and export-data files of its dependencies. The
+// field set tracks cmd/go's internal vet config (the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit executes one vet-protocol invocation: parse the unit's files,
+// typecheck them against the dependencies' export data, run the analyzers
+// over the non-test files, and print diagnostics. It returns the process
+// exit code (0 clean, 2 diagnostics, 1 operational error — matching
+// unitchecker's convention, which `go vet` surfaces as a failed package).
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	b, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fmmvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The vet driver always expects the facts ("vetx") output file, even
+	// from tools that, like this one, exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	// Dependency-only invocations exist to produce facts; nothing to do.
+	// Synthesized test-binary units ("pkg [pkg.test]" and the like) are
+	// skipped too: the plain package invocation already analyzed the
+	// non-test files, and test files are outside fmmvet's scope.
+	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var all []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		all = append(all, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	info := NewTypesInfo()
+	tp, err := conf.Check(cfg.ImportPath, fset, all, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// The unit includes in-package test files; exclude them from analysis
+	// (they were still typechecked above, as the unit demands).
+	var files []*ast.File
+	for _, f := range all {
+		if !IsTestFile(fset.Position(f.Pos()).Filename) {
+			files = append(files, f)
+		}
+	}
+	pkg := &PackageInfo{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tp, Info: info}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}

@@ -59,10 +59,20 @@ func BuildLET(c *mpi.Comm, leaves []Leaf) *DistTree {
 		bk[morton.Root()] = octInfo{isLeaf: false}
 	}
 
+	// Iterate B_k in Morton order everywhere below: ghost messages and the
+	// assembled spec list must be identical across runs for the engine's
+	// accumulation order (and hence its bits) to be reproducible.
+	bkKeys := make([]morton.Key, 0, len(bk))
+	for k := range bk {
+		bkKeys = append(bkKeys, k)
+	}
+	morton.SortKeys(bkKeys)
+
 	// I_{kk'}: octants whose parent-colleague neighborhood touches Ω_k'.
 	outgoing := make([][]ghostOctant, p)
 	sentLeafKeys := make([][]morton.Key, p)
-	for key, info := range bk {
+	for _, key := range bkKeys {
+		info := bk[key]
 		for _, k2 := range part.Users(key) {
 			if k2 == r {
 				continue
@@ -84,7 +94,8 @@ func BuildLET(c *mpi.Comm, leaves []Leaf) *DistTree {
 	// Merge: local octants win (they are already complete); new ghosts are
 	// inserted with Local=false.
 	specs := make([]octree.OctantSpec, 0, len(bk))
-	for key, info := range bk {
+	for _, key := range bkKeys {
+		info := bk[key]
 		sp := octree.OctantSpec{Key: key, IsLeaf: info.isLeaf, Local: true}
 		if info.isLeaf {
 			sp.Points = leaves[info.leafIx].Pts

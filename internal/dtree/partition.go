@@ -3,7 +3,12 @@
 // (Points2Octree, after Sundar-Sampath-Biros/DENDRO), work-weighted
 // repartitioning of the Morton-sorted leaves (Section III-B), the geometric
 // domain decomposition Ω_k, and the local-essential-tree construction of
-// Algorithm 2 with its contributor/user octant exchange.
+// Algorithm 2 with its contributor/user octant exchange.//
+// The whole package is in deterministic scope: for a fixed input and plan
+// its outputs must be bit-identical across runs and machines (fmmvet:
+// mapiter, nodeterm).
+//
+//fmm:deterministic
 package dtree
 
 import (

@@ -1,6 +1,8 @@
 package gpu
 
 import (
+	"sort"
+
 	"kifmm/internal/diag"
 	"kifmm/internal/kifmm"
 	"kifmm/internal/stream"
@@ -80,8 +82,18 @@ func (a *FMMAccel) vli(e *kifmm.Engine) {
 		return tf
 	}
 
+	// Visit levels in ascending order: map order would perturb the flop
+	// accumulation order across runs (same bug class PR 4 fixed in the
+	// engine's own FFT V-list pass).
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+
 	const block = 256
-	for _, targets := range byLevel {
+	for _, l := range levels {
+		targets := byLevel[l]
 		for lo := 0; lo < len(targets); lo += block {
 			hi := lo + block
 			if hi > len(targets) {

@@ -1,0 +1,33 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEvalPanelAllocFree pins the hot-path property fmmvet's hotalloc
+// analyzer enforces statically: a warm EvalPanel performs zero heap
+// allocations, for every native batch kernel. A regression here (a stray
+// append, boxing, or temporary) turns the per-leaf near-field inner loop
+// back into a garbage generator.
+func TestEvalPanelAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nt, ns = 64, 48
+	tx, ty, tz := randPanel(rng, nt)
+	sx, sy, sz := randPanel(rng, ns)
+	for _, k := range batchKernels() {
+		bk := AsBatch(k)
+		den := make([]float64, ns*k.SrcDim())
+		out := make([]float64, nt*k.TrgDim())
+		for i := range den {
+			den[i] = rng.NormFloat64()
+		}
+		bk.EvalPanel(tx, ty, tz, sx, sy, sz, den, out, -1) // warm
+		allocs := testing.AllocsPerRun(20, func() {
+			bk.EvalPanel(tx, ty, tz, sx, sy, sz, den, out, -1)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: EvalPanel allocates %.1f times per call, want 0", k.Name(), allocs)
+		}
+	}
+}

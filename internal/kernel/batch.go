@@ -89,6 +89,8 @@ func nanZero(x float64) float64 {
 // source memory traffic and overlaps the divider latency. Each target's
 // partial sum still accumulates in ascending source order, so blocking does
 // not change a single bit of the result.
+//
+//fmm:hotpath
 func (Laplace) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ int) {
 	ns := len(sx)
 	sy, sz, den = sy[:ns], sz[:ns], den[:ns]
@@ -132,6 +134,8 @@ func (Laplace) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _
 // EvalPanel implements Batch. The per-pair arithmetic matches Eval term for
 // term (same operation order), so non-singular pairs are bit-identical to
 // the pairwise path.
+//
+//fmm:hotpath
 func (Stokes) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ int) {
 	ns := len(sx)
 	sy, sz, den = sy[:ns], sz[:ns], den[:3*ns]
@@ -160,6 +164,8 @@ func (Stokes) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ 
 }
 
 // EvalPanel implements Batch.
+//
+//fmm:hotpath
 func (y Yukawa) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ int) {
 	lam := y.Lambda
 	ns := len(sx)

@@ -1,0 +1,35 @@
+package kifmm
+
+import (
+	"testing"
+
+	"kifmm/internal/kernel"
+)
+
+// TestVListAllocBudget pins the steady-state allocation count of one warm
+// FFT V-list pass on the standard 30k-point ellipsoid tree — the dynamic
+// complement of fmmvet's static hotalloc guarantee. The pass is not
+// allocation-free by design: per-block source spectra and the block
+// work-lists are (deliberately, amortized) heap-built each pass. What this
+// test forbids is the per-interaction regime the V-list overhaul removed
+// (~925k allocations per pass before, ~10.5k after); the budget sits well
+// above steady state but orders of magnitude below a per-interaction
+// regression.
+func TestVListAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30k-point engine build")
+	}
+	e := nearFieldEngine(t, kernel.Laplace{})
+	e.UseFFTM2L = true
+	e.VLI() // warm spectra, scratch, and block buffers
+	zeroDChk(e)
+	allocs := testing.AllocsPerRun(3, func() {
+		e.VLI()
+		zeroDChk(e)
+	})
+	const budget = 25000
+	if allocs > budget {
+		t.Errorf("warm FFT V-list pass: %.0f allocations, budget %d", allocs, budget)
+	}
+	t.Logf("warm FFT V-list pass: %.0f allocations (budget %d)", allocs, budget)
+}

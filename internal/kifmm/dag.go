@@ -250,6 +250,8 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 // inverse-transform, and add into e.DChk[i]. Afterwards it drops the
 // refcount of each consumed spectrum, freeing it on zero; the atomic
 // decrement orders the release after every other consumer's reads.
+//
+//fmm:hotpath
 func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][]float64, refs []int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -262,9 +264,10 @@ func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][]float64, refs []int32, 
 	vs := s.vsort[:0]
 	for _, a := range n.V {
 		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
-		vs = append(vs, vRef{dir: packDir(dx, dy, dz), a: a})
+		vs = append(vs, vRef{dir: packDir(dx, dy, dz), a: a}) //fmm:allow hotalloc amortized growth of per-worker vsort scratch
 	}
 	s.vsort = vs
+	//fmm:allow hotalloc sort.Slice boxes its closure once per target, not per source
 	sort.Slice(vs, func(x, y int) bool { return vs[x].dir < vs[y].dir })
 	acc := s.fftAcc(f.AccLen())
 	for _, vr := range vs {

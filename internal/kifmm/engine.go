@@ -245,6 +245,8 @@ func (e *Engine) barrierWorkers() int {
 }
 
 // dagWorkers mirrors the scheduler's Options.Workers resolution.
+//
+//fmm:allow nodeterm sizes per-worker scratch only; results are bit-identical for any worker count
 func (e *Engine) dagWorkers() int {
 	if e.Workers <= 0 {
 		return runtime.GOMAXPROCS(0)
@@ -294,6 +296,8 @@ func (e *Engine) S2U() {
 // The leaf's sources are a contiguous SoA panel of the layout; the
 // upward-check surface is filled into worker scratch from the per-level
 // offset grid.
+//
+//fmm:hotpath
 func (e *Engine) s2uLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -337,6 +341,8 @@ func (e *Engine) U2U() {
 
 // u2uNode is the per-octant U2U body: accumulates node i's children into
 // e.U[i]. Requires every child's U to be final.
+//
+//fmm:hotpath
 func (e *Engine) u2uNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -380,6 +386,8 @@ func (e *Engine) VLIFiltered(srcSel func(i int32) bool) {
 
 // vliDenseNode is the per-octant dense V-list body: accumulates every
 // selected source's M2L translation into e.DChk[i], in V-list order.
+//
+//fmm:hotpath
 func (e *Engine) vliDenseNode(i int32, srcSel func(i int32) bool, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -425,6 +433,8 @@ func (e *Engine) XLI() {
 // xliNode is the per-octant X-list body: accumulates X-list source points
 // into e.DChk[i]. Must run after node i's V-list contributions (the barrier
 // path orders the whole phases; the DAG chains the two tasks per octant).
+//
+//fmm:hotpath
 func (e *Engine) xliNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -465,6 +475,8 @@ func (e *Engine) Downward() {
 // downwardNode is the per-octant downward body: shifts the parent's
 // downward field into e.DChk[i] and solves for e.D[i]. Requires the
 // parent's D to be final and all of node i's V/X contributions done.
+//
+//fmm:hotpath
 func (e *Engine) downwardNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -507,6 +519,8 @@ func (e *Engine) WLI() {
 // upward-equivalent fields into leaf i's potentials. Each W source's
 // upward-equivalent surface is filled into worker scratch and evaluated as
 // one source panel against the leaf's target panel.
+//
+//fmm:hotpath
 func (e *Engine) wliLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -543,6 +557,8 @@ func (e *Engine) D2T() {
 // d2tLeaf is the per-leaf D2T body: adds leaf i's own downward field to its
 // potentials. Must run after the leaf's WLI contributions (accumulation
 // order) and its downward solve.
+//
+//fmm:hotpath
 func (e *Engine) d2tLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
@@ -576,6 +592,8 @@ func (e *Engine) ULI() {
 // (a == i) passes selfOffset 0 — the singular diagonal is suppressed by the
 // kernel's Algorithm 4 guard, not by a coordinate branch. Must run after
 // the leaf's WLI and D2T contributions (accumulation order).
+//
+//fmm:hotpath
 func (e *Engine) uliLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]

@@ -88,6 +88,8 @@ func (f *FFTM2L) AccLen() int { return f.ops.Kern.TrgDim() * 2 * f.hl }
 // into the real grid and half-transforms them into dst (length SpecLen()):
 // per source component, a re panel then an im panel. grid is caller scratch
 // of length GridLen().
+//
+//fmm:hotpath
 func (f *FFTM2L) SourceSpectrumInto(u []float64, dst, grid []float64) {
 	sd := f.ops.Kern.SrcDim()
 	hl := f.hl
@@ -227,6 +229,8 @@ func unpackDir(d uint32) (int, int, int) {
 // ExtractCheck inverse-transforms the accumulated frequency-domain check
 // potentials (acc, length AccLen(), consumed) and adds the surface values
 // (scaled) into dst. grid is caller scratch of length GridLen().
+//
+//fmm:hotpath
 func (f *FFTM2L) ExtractCheck(acc []float64, scale float64, dst, grid []float64) {
 	td := f.ops.Kern.TrgDim()
 	hl := f.hl
@@ -242,6 +246,8 @@ func (f *FFTM2L) ExtractCheck(acc []float64, scale float64, dst, grid []float64)
 // Hadamard accumulates one V-list interaction in frequency space on SoA
 // half-spectrum panels: acc[t] += Σ_s tf[t·sd+s] ⊙ src[s], with acc of
 // length td·2·hl, tf of td·sd·2·hl, and src of sd·2·hl.
+//
+//fmm:hotpath
 func Hadamard(acc, tf, src []float64, sd, td, hl int) {
 	for t := 0; t < td; t++ {
 		a := acc[t*2*hl : (t+1)*2*hl]
@@ -260,6 +266,8 @@ func Hadamard(acc, tf, src []float64, sd, td, hl int) {
 // compiler drops the per-element bounds checks, and the two-wide unroll
 // keeps both complex products in registers per iteration. Each element is
 // one fixed expression, so the result is bit-identical to the scalar loop.
+//
+//fmm:hotpath
 func hadamardPanels(ar, ai, tr, ti, sr, si []float64) {
 	n := len(ar)
 	if n == 0 {

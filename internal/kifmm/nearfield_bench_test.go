@@ -31,7 +31,7 @@ var benchKernels = []struct {
 // nearFieldEngine builds a 30k-point ellipsoid engine with random densities
 // and random equivalent densities, so every near-field phase has realistic
 // work.
-func nearFieldEngine(b *testing.B, kern kernel.Kernel) *Engine {
+func nearFieldEngine(b testing.TB, kern kernel.Kernel) *Engine {
 	b.Helper()
 	const n = 30000
 	pts := geom.Generate(geom.Ellipsoid, n, 42)

@@ -9,6 +9,12 @@
 // driver (internal/parfmm) can interleave communication, and so the
 // streaming accelerator (internal/gpu) can substitute individual phases —
 // exactly the decomposition the paper's Section II-A describes.
+//
+// The whole package is in deterministic scope: for a fixed input and plan
+// its outputs must be bit-identical across runs and machines (fmmvet:
+// mapiter, nodeterm).
+//
+//fmm:deterministic
 package kifmm
 
 import (

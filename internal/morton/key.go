@@ -11,6 +11,12 @@
 // Keys are ordered by the Morton preorder: ancestors sort immediately before
 // their first descendant, and disjoint octants sort by the interleaved bits
 // of their anchors (x most significant within each bit triple).
+//
+// The whole package is in deterministic scope: for a fixed input and plan
+// its outputs must be bit-identical across runs and machines (fmmvet:
+// mapiter, nodeterm).
+//
+//fmm:deterministic
 package morton
 
 import (

@@ -3,6 +3,12 @@
 // than q points), assembly from externally computed leaf sets (used by the
 // distributed tree construction and the local essential trees), and the
 // U/V/W/X interaction lists of Table I of the paper.
+//
+// The whole package is in deterministic scope: for a fixed input and plan
+// its outputs must be bit-identical across runs and machines (fmmvet:
+// mapiter, nodeterm).
+//
+//fmm:deterministic
 package octree
 
 import (

@@ -85,3 +85,32 @@ func TestForWScratchSums(t *testing.T) {
 		t.Fatalf("per-worker sums total %d, want %d", tot, want)
 	}
 }
+
+// TestForWExclusiveWorkerIndex is the contract test fmmvet's locksafe
+// analyzer documentation points at: per-worker state indexed by w needs no
+// synchronization because at most one goroutine holds an index at a time.
+// The body increments plain (non-atomic) per-worker counters — under
+// -race (make sched-stress runs this package -race -count=5) any violation
+// of the exclusivity contract is a reported data race, not a flaky count.
+func TestForWExclusiveWorkerIndex(t *testing.T) {
+	for _, workers := range []int{2, 3, 8, 32} {
+		const n = 20000
+		counts := make([]int, workers)
+		depth := make([]int, workers)
+		ForW(workers, n, func(w, i int) {
+			depth[w]++ // plain read-modify-write: racy iff exclusivity is broken
+			if depth[w] != 1 {
+				t.Errorf("workers=%d: worker %d entered reentrantly (depth %d)", workers, w, depth[w])
+			}
+			counts[w]++
+			depth[w]--
+		})
+		tot := 0
+		for _, c := range counts {
+			tot += c
+		}
+		if tot != n {
+			t.Fatalf("workers=%d: per-worker counts total %d, want %d", workers, tot, n)
+		}
+	}
+}

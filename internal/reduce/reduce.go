@@ -4,6 +4,12 @@
 // reduce-and-scatter (Algorithm 3), with O(t_s·log p + t_w·m(3√p−2))
 // complexity, and the owner-based point-to-point scheme it replaced (which
 // failed at 64K ranks because near-root octants have up to p users).
+//
+// The whole package is in deterministic scope: for a fixed input and plan
+// its outputs must be bit-identical across runs and machines (fmmvet:
+// mapiter, nodeterm).
+//
+//fmm:deterministic
 package reduce
 
 import (
@@ -145,9 +151,9 @@ func Hypercube(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]
 		us := s &^ ((1 << i) - 1) // s AND (2^d − 2^i)
 		ue := s | ((1 << i) - 1)  // s OR (2^i − 1)
 		var outgoing []Item
-		for key, u := range set {
+		for _, key := range sortedKeys(set) {
 			if rv.relevant(key, us, ue) {
-				outgoing = append(outgoing, Item{Key: key, U: u})
+				outgoing = append(outgoing, Item{Key: key, U: set[key]})
 			}
 		}
 		st.OctantsSentPerRound = append(st.OctantsSentPerRound, len(outgoing))
@@ -159,7 +165,7 @@ func Hypercube(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]
 		// Drop octants no longer relevant to my remaining subcube.
 		qs := r &^ ((1 << i) - 1)
 		qe := r | ((1 << i) - 1)
-		for key := range set {
+		for key := range set { //fmm:allow mapiter independent deletions, no order-dependent effect
 			if !rv.relevant(key, qs, qe) {
 				delete(set, key)
 			}
@@ -181,10 +187,22 @@ func Hypercube(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]
 		}
 	}
 	out := make([]Item, 0, len(set))
-	for key, u := range set {
-		out = append(out, Item{Key: key, U: u})
+	for _, key := range sortedKeys(set) {
+		out = append(out, Item{Key: key, U: set[key]})
 	}
 	return out, st
+}
+
+// sortedKeys returns m's keys in Morton order. Wire messages and result
+// slices are assembled in this order so every rank sees identical byte
+// streams and downstream accumulations run in a fixed order.
+func sortedKeys(m map[morton.Key][]float64) []morton.Key {
+	keys := make([]morton.Key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	morton.SortKeys(keys)
+	return keys
 }
 
 // Owner runs the baseline scheme the paper retired: every shared octant has
@@ -229,9 +247,9 @@ func Owner(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]Item
 
 	// Phase 2: owners scatter completed octants to users.
 	toUser := make([][]Item, p)
-	for key, u := range sums {
+	for _, key := range sortedKeys(sums) {
 		for _, k2 := range part.Users(key) {
-			toUser[k2] = append(toUser[k2], Item{Key: key, U: u})
+			toUser[k2] = append(toUser[k2], Item{Key: key, U: sums[key]})
 		}
 	}
 	for k2 := range toUser {

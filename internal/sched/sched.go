@@ -60,8 +60,9 @@ type task struct {
 	fnw func(worker int)
 	// deps is the remaining-predecessor count; the task is runnable when
 	// it reaches zero. Set at Add/Dep time, decremented atomically as
-	// predecessors complete.
-	deps  int32
+	// predecessors complete; atomic.Int32 so graph construction and the
+	// workers' decrements can never mix plain and atomic access.
+	deps  atomic.Int32
 	succs []TaskID
 }
 
@@ -121,7 +122,7 @@ func (g *Graph) Dep(pred, succ TaskID) {
 		panic("sched: self-dependency")
 	}
 	g.tasks[pred].succs = append(g.tasks[pred].succs, succ)
-	g.tasks[succ].deps++
+	g.tasks[succ].deps.Add(1)
 }
 
 // WorkerStats is one worker's execution counters.
@@ -198,13 +199,15 @@ type deque struct {
 	size atomic.Int32 // mirrored length, read lock-free by idle scans
 }
 
+//fmm:hotpath
 func (d *deque) push(id TaskID) {
 	d.mu.Lock()
-	d.buf = append(d.buf, id)
+	d.buf = append(d.buf, id) //fmm:allow hotalloc amortized deque growth, buffer reused across tasks
 	d.size.Store(int32(len(d.buf)))
 	d.mu.Unlock()
 }
 
+//fmm:hotpath
 func (d *deque) pop() (TaskID, bool) {
 	d.mu.Lock()
 	n := len(d.buf)
@@ -220,6 +223,8 @@ func (d *deque) pop() (TaskID, bool) {
 }
 
 // stealHalf removes up to half of the deque from the head into out.
+//
+//fmm:hotpath
 func (d *deque) stealHalf(out []TaskID) []TaskID {
 	d.mu.Lock()
 	n := len(d.buf)
@@ -228,8 +233,11 @@ func (d *deque) stealHalf(out []TaskID) []TaskID {
 		return out
 	}
 	k := (n + 1) / 2
-	out = append(out, d.buf[:k]...)
+	// The two appends below: amortized growth of the thief's reusable batch
+	// buffer, and a compacting reslice into buf's own backing array.
+	out = append(out, d.buf[:k]...) //fmm:allow hotalloc amortized reuse, covers the compaction below too
 	d.buf = append(d.buf[:0], d.buf[k:]...)
+
 	d.size.Store(int32(len(d.buf)))
 	d.mu.Unlock()
 	return out
@@ -302,7 +310,7 @@ func (g *Graph) Run(opt Options) (Stats, error) {
 	// stealing's job.
 	var ready []TaskID
 	for i := range g.tasks {
-		if g.tasks[i].deps == 0 {
+		if g.tasks[i].deps.Load() == 0 {
 			ready = append(ready, TaskID(i))
 		}
 	}
@@ -363,7 +371,7 @@ func (g *Graph) checkAcyclic() error {
 	deg := make([]int32, len(g.tasks))
 	var queue []TaskID
 	for i := range g.tasks {
-		deg[i] = g.tasks[i].deps
+		deg[i] = g.tasks[i].deps.Load()
 		if deg[i] == 0 {
 			queue = append(queue, TaskID(i))
 		}
@@ -511,7 +519,7 @@ func (r *runner) execute(w int, id TaskID) {
 	// unlocks at once.
 	released := 0
 	for _, s := range t.succs {
-		if atomic.AddInt32(&r.g.tasks[s].deps, -1) == 0 {
+		if r.g.tasks[s].deps.Add(-1) == 0 {
 			r.deques[w].push(s)
 			released++
 		}
