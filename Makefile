@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-nearfield bench-json bench-smoke sched-stress lint ci
+.PHONY: build vet test race bench bench-nearfield bench-json bench-shard bench-smoke sched-stress shard-stress lint ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ bench-nearfield:
 bench-json:
 	$(GO) run ./cmd/benchjson -pkg ./internal/kifmm/ -bench BenchmarkVList -benchtime 3x -o BENCH_vlist.json
 
+# Sharded apply on the 100k ellipsoid (R ∈ {1,2,4} × both communication
+# backends), written as machine-readable JSON for EXPERIMENTS.md and CI
+# artifacts.
+bench-shard:
+	$(GO) run ./cmd/benchjson -pkg ./internal/shard/ -bench BenchmarkShardedApply -benchtime 3x -o BENCH_shard.json
+
 # Compile-and-run every benchmark exactly once: catches bitrot in benchmark
 # code without paying for real measurement (the -run pattern matches no
 # tests).
@@ -43,6 +49,12 @@ bench-smoke:
 sched-stress:
 	$(GO) test -race -count=5 ./internal/sched/... ./internal/par/...
 
+# Repeated race runs of the sharded differential tests: the multi-rank
+# coordinated apply exercises the in-process MPI runtime, the engine free
+# list, and the disjoint-write potential gather under the race detector.
+shard-stress:
+	$(GO) test -race -count=3 ./internal/shard/...
+
 # Project-specific static analysis (DESIGN.md §7.5): build the fmmvet
 # multichecker and run it over the tree through `go vet -vettool`, so
 # results are cached by the go build cache like any other vet run.
@@ -50,4 +62,4 @@ lint:
 	$(GO) build -o bin/fmmvet ./cmd/fmmvet
 	$(GO) vet -vettool=bin/fmmvet ./...
 
-ci: build vet lint race sched-stress bench-smoke
+ci: build vet lint race sched-stress shard-stress bench-smoke

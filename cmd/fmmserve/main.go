@@ -49,6 +49,7 @@ func main() {
 		drainWait  = flag.Duration("drain", 2*time.Minute, "graceful shutdown drain limit")
 		traceDir   = flag.String("trace-dir", "", "dump a Chrome trace JSON per evaluation into this directory (see chrome://tracing)")
 		traceKeep  = flag.Int("trace-keep", 32, "trace files retained in -trace-dir (oldest deleted)")
+		maxShards  = flag.Int("max-shards", 16, "per-request shard count cap (options.shards beyond this, 400)")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		RequestTimeout: *timeout,
 		TraceDir:       *traceDir,
 		TraceKeep:      *traceKeep,
+		MaxShards:      *maxShards,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

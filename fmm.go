@@ -27,6 +27,7 @@ import (
 	ikifmm "kifmm/internal/kifmm"
 	"kifmm/internal/mpi"
 	"kifmm/internal/parfmm"
+	"kifmm/internal/shard"
 	"kifmm/internal/stream"
 )
 
@@ -115,6 +116,20 @@ type Options struct {
 	// device-accelerated drivers schedule phases themselves). The default
 	// ExecAuto uses the task graph whenever Workers > 1.
 	Exec ExecMode
+	// Shards, when positive, makes Plan build a sharded plan: the octree's
+	// leaves are Morton-partitioned across Shards in-process ranks, each
+	// rank assembles a local essential tree, and every Apply runs the
+	// paper's coordinated multi-rank evaluation (upward pass per shard,
+	// ghost-density exchange, shared-octant upward reduction, local
+	// far-field and near-field phases), gathered back into input order.
+	// Zero (the default) keeps the single-engine plan. The worker budget
+	// (Workers) is split across the shards.
+	Shards int
+	// ShardComm selects the communication backend completing the shared
+	// octants' upward densities during sharded evaluation: "hypercube"
+	// (the paper's Algorithm 3; requires power-of-two Shards; the default)
+	// or "simple" (single-round direct point-to-point, any shard count).
+	ShardComm string
 }
 
 func (o Options) kernel() (kernel.Kernel, error) {
@@ -177,6 +192,26 @@ func New(opt Options) (*FMM, error) {
 	}
 	if opt.Accelerated && k.Name() != "laplace" {
 		return nil, fmt.Errorf("kifmm: accelerated evaluation supports the laplace kernel only")
+	}
+	if opt.Shards < 0 {
+		return nil, fmt.Errorf("kifmm: negative shard count %d", opt.Shards)
+	}
+	if opt.Shards > 0 {
+		if opt.Accelerated {
+			return nil, fmt.Errorf("kifmm: sharded plans do not support accelerated evaluation (the streaming device owns the phase schedule)")
+		}
+		backend, err := shard.BackendByName(opt.ShardComm)
+		if err != nil {
+			return nil, fmt.Errorf("kifmm: %w", err)
+		}
+		if backend.NeedsPow2() && opt.Shards&(opt.Shards-1) != 0 {
+			return nil, fmt.Errorf("kifmm: the %s shard backend requires a power-of-two shard count, got %d",
+				backend.Name(), opt.Shards)
+		}
+	} else if opt.ShardComm != "" {
+		if _, err := shard.BackendByName(opt.ShardComm); err != nil {
+			return nil, fmt.Errorf("kifmm: %w", err)
+		}
 	}
 	return &FMM{opt: opt, kern: k, ops: ikifmm.NewOperators(k, opt.Order, opt.Tolerance)}, nil
 }

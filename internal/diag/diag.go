@@ -37,6 +37,14 @@ const (
 	PhaseSchedIdle = "Sched idle"
 )
 
+// ShardCommPhase returns the phase name under which the sharded evaluator
+// accumulates its communication time (ghost exchange + upward reduction),
+// one phase per communication backend so the hypercube and the direct
+// scheme can be compared on /metrics.
+func ShardCommPhase(backend string) string {
+	return "Shard comm (" + backend + ")"
+}
+
 // Counter names used by the task-graph runtime wiring (Profile.AddCounter);
 // they surface on /metrics as <prefix>_<name>_total.
 const (
@@ -53,6 +61,9 @@ const (
 	// plan builds (misses = spectra actually recomputed).
 	CounterTFCacheHits   = "tf_cache_hits"
 	CounterTFCacheMisses = "tf_cache_misses"
+	// CounterShardApplies counts completed sharded Apply calls (one per
+	// coordinated multi-rank evaluation, not one per rank).
+	CounterShardApplies = "shard_applies"
 )
 
 // Profile accumulates named phase timings and flop counts for one rank.

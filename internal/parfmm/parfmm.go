@@ -188,7 +188,7 @@ func Evaluate(c *mpi.Comm, pts []geom.Point, densities []float64, cfg Config) *R
 	stopTotal := prof.Start(diag.PhaseTotalEval)
 
 	// Place owned densities into the engine (tree point order).
-	placeOwnedDensities(eng, dt, sd)
+	PlaceOwnedDensities(eng, dt, sd)
 
 	// Partial upward densities from the local subtree.
 	if cfg.Accel != nil {
@@ -217,7 +217,7 @@ func Evaluate(c *mpi.Comm, pts []geom.Point, densities []float64, cfg Config) *R
 		ch := make(chan commResult, 1)
 		go func() {
 			t0 := time.Now()
-			exchangeGhostDensities(c, eng, dt, sd)
+			ExchangeGhostDensities(c, eng, dt, sd)
 			items, st := reducePartials(c, eng, dt, cfg)
 			prof.AddTime(diag.PhaseComm, time.Since(t0))
 			ch <- commResult{items: items, st: st}
@@ -225,13 +225,13 @@ func Evaluate(c *mpi.Comm, pts []geom.Point, densities []float64, cfg Config) *R
 		eng.VLIFiltered(func(i int32) bool { return !shared[i] })
 		out := <-ch
 		res.ReduceStats = out.st
-		installUpward(eng, dt, out.items)
+		InstallUpward(eng, dt, out.items)
 		eng.VLIFiltered(func(i int32) bool { return shared[i] })
 	} else {
 		stopComm := prof.Start(diag.PhaseComm)
-		exchangeGhostDensities(c, eng, dt, sd)
+		ExchangeGhostDensities(c, eng, dt, sd)
 		items, st := reducePartials(c, eng, dt, cfg)
-		installUpward(eng, dt, items)
+		InstallUpward(eng, dt, items)
 		res.ReduceStats = st
 		stopComm()
 	}
@@ -291,9 +291,9 @@ func Evaluate(c *mpi.Comm, pts []geom.Point, densities []float64, cfg Config) *R
 
 func surfCount(p int) int { return p*p*p - (p-2)*(p-2)*(p-2) }
 
-// placeOwnedDensities copies each owned leaf's densities into the engine's
+// PlaceOwnedDensities copies each owned leaf's densities into the engine's
 // tree-ordered density array.
-func placeOwnedDensities(eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
+func PlaceOwnedDensities(eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
 	t := dt.Tree
 	for _, l := range dt.Leaves {
 		idx, ok := t.Index(l.Key)
@@ -307,10 +307,11 @@ func placeOwnedDensities(eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
 	}
 }
 
-// exchangeGhostDensities forwards owned leaf densities to the ranks using
+// ExchangeGhostDensities forwards owned leaf densities to the ranks using
 // them as U/X-list sources (the paper's "communicate the exact densities"
-// step — local, neighbor-to-neighbor traffic).
-func exchangeGhostDensities(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
+// step — local, neighbor-to-neighbor traffic). Owned leaf densities must
+// already be placed in the engine (PlaceOwnedDensities). Collective.
+func ExchangeGhostDensities(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, sd int) {
 	p := c.Size()
 	t := dt.Tree
 	enc := make([][]byte, p)
@@ -354,6 +355,19 @@ func exchangeGhostDensities(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, 
 // without touching engine state (so the caller can overlap computation).
 func reducePartials(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, cfg Config) ([]reduce.Item, reduce.Stats) {
 	vecLen := len(eng.U[0])
+	items := PartialUpwardItems(eng, dt)
+	if cfg.UseOwnerReduce {
+		return reduce.Owner(c, dt.Part, items, vecLen)
+	}
+	return reduce.Hypercube(c, dt.Part, items, vecLen)
+}
+
+// PartialUpwardItems collects this rank's partial upward densities of the
+// shared octants it contributes to (its Local octants), in ascending node
+// index — i.e. Morton — order, ready for a reduction backend. The item
+// vectors alias the engine's U state; they must be consumed before the
+// engine is reused.
+func PartialUpwardItems(eng *kifmm.Engine, dt *dtree.DistTree) []reduce.Item {
 	var items []reduce.Item
 	for _, i := range dt.SharedOctants() {
 		n := &dt.Tree.Nodes[i]
@@ -362,14 +376,12 @@ func reducePartials(c *mpi.Comm, eng *kifmm.Engine, dt *dtree.DistTree, cfg Conf
 		}
 		items = append(items, reduce.Item{Key: n.Key, U: eng.U[i]})
 	}
-	if cfg.UseOwnerReduce {
-		return reduce.Owner(c, dt.Part, items, vecLen)
-	}
-	return reduce.Hypercube(c, dt.Part, items, vecLen)
+	return items
 }
 
-// installUpward writes the completed upward densities into the engine.
-func installUpward(eng *kifmm.Engine, dt *dtree.DistTree, items []reduce.Item) {
+// InstallUpward writes completed upward densities from a reduction back
+// into the engine; items absent from the LET are ignored.
+func InstallUpward(eng *kifmm.Engine, dt *dtree.DistTree, items []reduce.Item) {
 	for _, it := range items {
 		if idx, ok := dt.Tree.Index(it.Key); ok {
 			copy(eng.U[idx], it.U)

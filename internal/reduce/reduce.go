@@ -268,7 +268,13 @@ func Owner(c *mpi.Comm, part *dtree.Partition, items []Item, vecLen int) ([]Item
 }
 
 // Bound returns the paper's per-rank octant-traffic bound m·(3√p − 2) for
-// the hypercube reduction.
+// the hypercube reduction. The bound is specific to the hypercube scheme:
+// it relies on each round forwarding only the octants relevant to the
+// partner's half-subcube, with partials aggregated en route, so the
+// per-round volume shrinks geometrically. The direct point-to-point scheme
+// (Simple) has no intermediate aggregation and is bounded by m·p instead
+// (SimpleBound) — near-root octants are sent to every one of their up-to-p
+// users individually.
 func Bound(m, p int) float64 {
 	return float64(m) * (3*math.Sqrt(float64(p)) - 2)
 }

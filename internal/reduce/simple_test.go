@@ -1,0 +1,114 @@
+package reduce
+
+import (
+	"math"
+	"testing"
+
+	"kifmm/internal/geom"
+	"kifmm/internal/morton"
+	"kifmm/internal/mpi"
+)
+
+func TestSimpleMatchesSerialReduction(t *testing.T) {
+	for _, cfg := range []struct {
+		dist geom.Distribution
+		n, p int
+	}{
+		{geom.Uniform, 1000, 2},
+		{geom.Uniform, 1500, 4},
+		{geom.Ellipsoid, 1500, 8},
+		{geom.Ellipsoid, 1200, 3}, // no power-of-two restriction
+		{geom.Uniform, 1500, 5},
+	} {
+		dts, items := buildSetup(t, cfg.dist, cfg.n, cfg.p, 20)
+		want := serialSums(items)
+		got := make([][]Item, cfg.p)
+		mpi.Run(cfg.p, func(c *mpi.Comm) {
+			out, _ := Simple(c, dts[c.Rank()].Part, items[c.Rank()], vecLen)
+			got[c.Rank()] = out
+		})
+		checkComplete(t, "simple", dts, got, want)
+	}
+}
+
+func TestSimpleAgreesWithHypercube(t *testing.T) {
+	dts, items := buildSetup(t, geom.Uniform, 1200, 4, 25)
+	hc := make([][]Item, 4)
+	si := make([][]Item, 4)
+	mpi.Run(4, func(c *mpi.Comm) {
+		out, _ := Hypercube(c, dts[c.Rank()].Part, items[c.Rank()], vecLen)
+		hc[c.Rank()] = out
+	})
+	mpi.Run(4, func(c *mpi.Comm) {
+		out, _ := Simple(c, dts[c.Rank()].Part, items[c.Rank()], vecLen)
+		si[c.Rank()] = out
+	})
+	for r := 0; r < 4; r++ {
+		hk := make(map[morton.Key][]float64)
+		for _, it := range hc[r] {
+			hk[it.Key] = it.U
+		}
+		for _, it := range si[r] {
+			if hu, ok := hk[it.Key]; ok {
+				for x := range hu {
+					if math.Abs(hu[x]-it.U[x]) > 1e-12 {
+						t.Fatalf("rank %d octant %v: hypercube %v vs simple %v",
+							r, it.Key, hu[x], it.U[x])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimpleTrafficBound asserts the direct scheme's m·p worst-case bound
+// (SimpleBound). The paper's m·(3√p − 2) bound (Bound) does NOT apply to
+// the direct scheme: it is specific to the hypercube's round-by-round
+// relevance filtering with en-route aggregation, whereas the direct scheme
+// sends one record per (contributor, user) pair — a near-root octant with
+// ~p users costs ~p records from each contributor. The test also records
+// that the single-round structure holds (one entry in OctantsSentPerRound).
+func TestSimpleTrafficBound(t *testing.T) {
+	for _, p := range []int{4, 8, 16} {
+		dts, items := buildSetup(t, geom.Uniform, 4000, p, 25)
+		m := 0
+		for r := 0; r < p; r++ {
+			if len(dts[r].SharedOctants()) > m {
+				m = len(dts[r].SharedOctants())
+			}
+			if len(items[r]) > m {
+				m = len(items[r])
+			}
+		}
+		stats := make([]Stats, p)
+		mpi.Run(p, func(c *mpi.Comm) {
+			_, st := Simple(c, dts[c.Rank()].Part, items[c.Rank()], vecLen)
+			stats[c.Rank()] = st
+		})
+		bound := SimpleBound(m, p)
+		for r, st := range stats {
+			if float64(st.OctantsSentTotal) > bound {
+				t.Fatalf("p=%d rank %d: sent %d octants > m·p bound %.0f (m=%d)",
+					p, r, st.OctantsSentTotal, bound, m)
+			}
+			if len(st.OctantsSentPerRound) != 1 {
+				t.Fatalf("p=%d rank %d: %d rounds, want 1", p, r, len(st.OctantsSentPerRound))
+			}
+		}
+	}
+}
+
+// TestSimpleSingleRank checks the degenerate p=1 case returns the input
+// unchanged with zero traffic.
+func TestSimpleSingleRank(t *testing.T) {
+	items := []Item{{Key: morton.Root(), U: []float64{1, 2, 3, 4}}}
+	mpi.Run(1, func(c *mpi.Comm) {
+		out, st := Simple(c, nil, items, vecLen)
+		if len(out) != 1 || out[0].Key != morton.Root() {
+			t.Errorf("p=1: unexpected output %v", out)
+		}
+		if st.OctantsSentTotal != 0 || st.MessagesSent != 0 {
+			t.Errorf("p=1: unexpected traffic %+v", st)
+		}
+	})
+}

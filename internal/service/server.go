@@ -48,6 +48,11 @@ type Config struct {
 	TraceDir string
 	// TraceKeep bounds the number of retained trace files (default 32).
 	TraceKeep int
+	// MaxShards caps the per-request shard count (Options.Shards); requests
+	// beyond it are rejected with 400 (default 16). Each shard holds its own
+	// local essential tree and engine state, so this bounds the per-plan
+	// memory amplification a single request can demand.
+	MaxShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 16
 	}
 	return c
 }
@@ -190,6 +198,17 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, timeout time.Dur
 	}
 }
 
+// checkShards rejects requests whose shard count exceeds the server cap
+// (the per-shard LET + engine state amplifies plan memory). Reports false
+// after writing the 400.
+func (s *Server) checkShards(w http.ResponseWriter, opts SolverOptions) bool {
+	if opts.Shards > s.cfg.MaxShards {
+		writeError(w, http.StatusBadRequest, "shards %d exceeds server cap %d", opts.Shards, s.cfg.MaxShards)
+		return false
+	}
+	return true
+}
+
 func (s *Server) timeout(requestMS int) time.Duration {
 	d := s.cfg.RequestTimeout
 	if requestMS > 0 {
@@ -236,6 +255,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Points) == 0 {
 		writeError(w, http.StatusBadRequest, "no points")
+		return
+	}
+	if !s.checkShards(w, req.Options) {
 		return
 	}
 	id := PlanKey(req.Points, req.Options)
@@ -301,6 +323,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case len(req.Points) > 0:
+		if !s.checkShards(w, req.Options) {
+			return
+		}
 		id = PlanKey(req.Points, req.Options)
 		if !req.NoCache {
 			entry, hit = s.cache.Get(id)
@@ -329,9 +354,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		applyStop := s.prof.Start(phaseApply)
 		// ApplyTraced runs the task-graph scheduler, so skip tracing for
-		// plans that force the barrier path (or route through the device):
-		// the client's exec choice wins over the operator's -trace-dir.
-		if s.traces != nil && !entry.Solver.Accelerated() && entry.Solver.Exec() != kifmm.ExecBarrier {
+		// plans that force the barrier path (or route through the device,
+		// or coordinate shards themselves): the client's exec choice wins
+		// over the operator's -trace-dir.
+		if s.traces != nil && !entry.Solver.Accelerated() && entry.Solver.Exec() != kifmm.ExecBarrier && entry.Plan.Shards() == 0 {
 			var traceJSON []byte
 			pots, traceJSON, evalErr = entry.Plan.ApplyTraced(req.Densities)
 			if evalErr == nil {
@@ -401,6 +427,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "fmmserve_tf_cache_max_bytes %d\n", tf.MaxBytes)
 	if s.traces != nil {
 		fmt.Fprintf(w, "fmmserve_traces_written_total %d\n", s.traces.Written())
+	}
+	fmt.Fprintf(w, "fmmserve_max_shards %d\n", s.cfg.MaxShards)
+	if rows := kifmm.ShardTrafficStats(); len(rows) > 0 {
+		fmt.Fprintf(w, "# TYPE fmmserve_shard_bytes_sent counter\n")
+		for _, t := range rows {
+			fmt.Fprintf(w, "fmmserve_shard_bytes_sent{backend=%q,rank=\"%d\"} %d\n", t.Backend, t.Rank, t.BytesSent)
+		}
+		fmt.Fprintf(w, "# TYPE fmmserve_shard_remote_bytes_sent counter\n")
+		for _, t := range rows {
+			fmt.Fprintf(w, "fmmserve_shard_remote_bytes_sent{backend=%q,rank=\"%d\"} %d\n", t.Backend, t.Rank, t.RemoteBytes)
+		}
+		fmt.Fprintf(w, "# TYPE fmmserve_shard_msgs_sent counter\n")
+		for _, t := range rows {
+			fmt.Fprintf(w, "fmmserve_shard_msgs_sent{backend=%q,rank=\"%d\"} %d\n", t.Backend, t.Rank, t.MsgsSent)
+		}
+		fmt.Fprintf(w, "# TYPE fmmserve_shard_reduce_octants_sent counter\n")
+		for _, t := range rows {
+			fmt.Fprintf(w, "fmmserve_shard_reduce_octants_sent{backend=%q,rank=\"%d\"} %d\n", t.Backend, t.Rank, t.ReduceOctants)
+		}
+		fmt.Fprintf(w, "# TYPE fmmserve_shard_reduce_rounds counter\n")
+		for _, t := range rows {
+			fmt.Fprintf(w, "fmmserve_shard_reduce_rounds{backend=%q,rank=\"%d\"} %d\n", t.Backend, t.Rank, t.ReduceRounds)
+		}
+		fmt.Fprintf(w, "# TYPE fmmserve_shard_applies counter\n")
+		for _, t := range rows {
+			fmt.Fprintf(w, "fmmserve_shard_applies{backend=%q,rank=\"%d\"} %d\n", t.Backend, t.Rank, t.Applies)
+		}
 	}
 	s.prof.WriteMetrics(w, "kifmm")
 }

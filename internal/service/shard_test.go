@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// shardOpts returns fastOpts with sharding enabled.
+func shardOpts(shards int, comm string) SolverOptions {
+	o := fastOpts()
+	o.Shards = shards
+	o.ShardComm = comm
+	return o
+}
+
+// TestShardedEvaluateMatchesUnsharded serves the same points sharded and
+// unsharded and compares potentials end to end over HTTP: the sharded plan
+// partitions the same global tree, so agreement is limited only by the
+// shared-octant reduction's floating-point summation order (≤ 1e-9 at the
+// default pseudo-inverse regularization; see internal/shard).
+func TestShardedEvaluateMatchesUnsharded(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(600, 3)
+
+	var base EvaluateResponse
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+		EvaluateRequest{Points: pts, Options: fastOpts(), Densities: den}, &base)
+	if code != http.StatusOK {
+		t.Fatalf("unsharded evaluate: %d %s", code, raw)
+	}
+
+	for _, comm := range []string{"hypercube", "simple"} {
+		var sharded EvaluateResponse
+		code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+			EvaluateRequest{Points: pts, Options: shardOpts(4, comm), Densities: den}, &sharded)
+		if code != http.StatusOK {
+			t.Fatalf("sharded evaluate (%s): %d %s", comm, code, raw)
+		}
+		var num, denom float64
+		for i := range base.Potentials {
+			d := sharded.Potentials[i] - base.Potentials[i]
+			num += d * d
+			denom += base.Potentials[i] * base.Potentials[i]
+		}
+		if e := math.Sqrt(num / denom); e > 1e-9 {
+			t.Errorf("%s: sharded differs from unsharded by %g", comm, e)
+		}
+		if sharded.PlanID == base.PlanID {
+			t.Errorf("%s: sharded plan shares the unsharded plan id", comm)
+		}
+	}
+}
+
+// TestShardedPlansAreDistinctCacheEntries: the same point set planned at
+// different shard counts (or backends) must hash to distinct plan ids and
+// coexist in the cache — the "re-plan after shard count changes" case.
+func TestShardedPlansAreDistinctCacheEntries(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, _ := testPoints(400, 4)
+	ids := map[string]string{}
+	for _, cfg := range []struct {
+		name string
+		opts SolverOptions
+	}{
+		{"unsharded", fastOpts()},
+		{"R2", shardOpts(2, "")},
+		{"R4", shardOpts(4, "")},
+		{"R4-simple", shardOpts(4, "simple")},
+	} {
+		var plan PlanResponse
+		code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/plan",
+			PlanRequest{Points: pts, Options: cfg.opts}, &plan)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %s", cfg.name, code, raw)
+		}
+		if plan.Cached {
+			t.Errorf("%s: unexpectedly cached", cfg.name)
+		}
+		for prev, id := range ids {
+			if id == plan.PlanID {
+				t.Errorf("%s and %s share plan id %s", cfg.name, prev, id)
+			}
+		}
+		ids[cfg.name] = plan.PlanID
+
+		// Re-planning the identical configuration is a hit on its own entry.
+		var again PlanResponse
+		postJSON(t, ts.Client(), ts.URL+"/v1/plan", PlanRequest{Points: pts, Options: cfg.opts}, &again)
+		if !again.Cached || again.PlanID != plan.PlanID {
+			t.Errorf("%s: re-plan missed its own cache entry (%+v)", cfg.name, again)
+		}
+	}
+}
+
+// TestShardsCapRejected: options.shards above the server cap is a 400, both
+// on /v1/plan and inline /v1/evaluate.
+func TestShardsCapRejected(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, MaxShards: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(200, 5)
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/plan",
+		PlanRequest{Points: pts, Options: shardOpts(8, "")}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(raw, "server cap") {
+		t.Fatalf("plan over cap: %d %s", code, raw)
+	}
+	code, raw = postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+		EvaluateRequest{Points: pts, Options: shardOpts(8, ""), Densities: den}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(raw, "server cap") {
+		t.Fatalf("evaluate over cap: %d %s", code, raw)
+	}
+	// At the cap is fine.
+	code, raw = postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+		EvaluateRequest{Points: pts, Options: shardOpts(4, ""), Densities: den}, &EvaluateResponse{})
+	if code != http.StatusOK {
+		t.Fatalf("evaluate at cap: %d %s", code, raw)
+	}
+}
+
+// TestMetricsExposeShardTraffic: after a sharded evaluation, /metrics must
+// carry per-(backend, rank) traffic rows.
+func TestMetricsExposeShardTraffic(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(400, 6)
+	for _, comm := range []string{"hypercube", "simple"} {
+		code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+			EvaluateRequest{Points: pts, Options: shardOpts(2, comm), Densities: den}, &EvaluateResponse{})
+		if code != http.StatusOK {
+			t.Fatalf("evaluate (%s): %d %s", comm, code, raw)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`fmmserve_shard_bytes_sent{backend="hypercube",rank="0"}`,
+		`fmmserve_shard_bytes_sent{backend="simple",rank="1"}`,
+		`fmmserve_shard_reduce_rounds{backend="hypercube",rank="0"}`,
+		`fmmserve_shard_applies{backend="simple",rank="0"}`,
+		"fmmserve_max_shards 16",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -34,6 +34,15 @@ type SolverOptions struct {
 	// Exec selects the evaluation execution strategy: "" (auto),
 	// "barrier", or "dag" (see kifmm.ExecMode).
 	Exec string `json:"exec,omitempty"`
+	// Shards, when positive, serves this plan as a sharded plan: the octree
+	// is Morton-partitioned across Shards in-process ranks with per-rank
+	// local essential trees and every apply runs the coordinated multi-rank
+	// evaluation (capped by the server's -max-shards).
+	Shards int `json:"shards,omitempty"`
+	// ShardComm selects the sharded communication backend: "hypercube"
+	// (the paper's Algorithm 3, power-of-two Shards; default) or "simple"
+	// (direct point-to-point, any shard count).
+	ShardComm string `json:"shard_comm,omitempty"`
 }
 
 // toExecMode maps the wire string to kifmm.ExecMode; unknown strings fall
@@ -64,6 +73,8 @@ func (o SolverOptions) ToOptions() kifmm.Options {
 		Accelerated:  o.Accelerated,
 		YukawaLambda: o.YukawaLambda,
 		Exec:         toExecMode(o.Exec),
+		Shards:       o.Shards,
+		ShardComm:    o.ShardComm,
 	}
 }
 
@@ -157,6 +168,11 @@ func PlanKey(points [][3]float64, o SolverOptions) string {
 	wb(o.Accelerated)
 	wf(o.YukawaLambda)
 	h.Write([]byte(o.Exec))
+	h.Write([]byte{0})
+	// Shard configuration is part of plan identity: the same points served
+	// at different shard counts (or backends) are distinct resident plans.
+	wi(int64(o.Shards))
+	h.Write([]byte(o.ShardComm))
 	h.Write([]byte{0})
 	wi(int64(len(points)))
 	for _, p := range points {

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"fmt"
+
+	"kifmm/internal/dtree"
+	"kifmm/internal/mpi"
+	"kifmm/internal/reduce"
+)
+
+// CommBackend is the pluggable communication scheme that completes the
+// shared octants' upward densities during a sharded Apply. Both
+// implementations are collective over the per-apply communicator and
+// deterministic: for a fixed plan and density vector their outputs are
+// bit-identical across runs (summation orders are fixed by rank id and
+// Morton order, never by arrival order).
+//
+// The contract mirrors the reduction step of the paper's Algorithm 3: each
+// rank passes the partial upward-density vectors of the shared octants it
+// contributes to, and receives the globally summed vector of every shared
+// octant relevant to its local essential tree, plus the traffic statistics
+// of its own sends.
+type CommBackend interface {
+	// Name identifies the backend in metrics labels and request options.
+	Name() string
+	// Reduce completes the shared octants' upward densities. Collective.
+	Reduce(c *mpi.Comm, part *dtree.Partition, items []reduce.Item, vecLen int) ([]reduce.Item, reduce.Stats)
+	// NeedsPow2 reports whether the backend requires a power-of-two rank
+	// count (the hypercube exchange does; the direct scheme does not).
+	NeedsPow2() bool
+}
+
+// BackendHypercube and BackendSimple are the wire names of the built-in
+// backends (request option "shard_comm", metrics label "backend").
+const (
+	BackendHypercube = "hypercube"
+	BackendSimple    = "simple"
+)
+
+// Hypercube is the paper's Algorithm 3: log p rounds over the hypercube
+// with en-route aggregation, per-rank octant traffic within m·(3√p − 2).
+var Hypercube CommBackend = hypercubeBackend{}
+
+// Simple is the single-round point-to-point scheme of Kailasa et al.:
+// contributors send partials directly to every user rank, one sparse
+// all-to-all, per-rank octant traffic bounded by m·p.
+var Simple CommBackend = simpleBackend{}
+
+type hypercubeBackend struct{}
+
+func (hypercubeBackend) Name() string    { return BackendHypercube }
+func (hypercubeBackend) NeedsPow2() bool { return true }
+func (hypercubeBackend) Reduce(c *mpi.Comm, part *dtree.Partition, items []reduce.Item, vecLen int) ([]reduce.Item, reduce.Stats) {
+	return reduce.Hypercube(c, part, items, vecLen)
+}
+
+type simpleBackend struct{}
+
+func (simpleBackend) Name() string    { return BackendSimple }
+func (simpleBackend) NeedsPow2() bool { return false }
+func (simpleBackend) Reduce(c *mpi.Comm, part *dtree.Partition, items []reduce.Item, vecLen int) ([]reduce.Item, reduce.Stats) {
+	return reduce.Simple(c, part, items, vecLen)
+}
+
+// BackendByName resolves a wire name to a backend; the empty string selects
+// the hypercube (the paper's scheme and the default).
+func BackendByName(name string) (CommBackend, error) {
+	switch name {
+	case "", BackendHypercube:
+		return Hypercube, nil
+	case BackendSimple:
+		return Simple, nil
+	}
+	return nil, fmt.Errorf("shard: unknown comm backend %q (want %q or %q)",
+		name, BackendHypercube, BackendSimple)
+}

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+)
+
+// RankTraffic is one rank's communication activity during a single sharded
+// Apply: the ghost-density exchange plus the upward-density reduction.
+type RankTraffic struct {
+	// BytesSent / MsgsSent count the rank's outgoing traffic (including
+	// self-sends, which an in-process runtime makes explicit).
+	BytesSent, MsgsSent int64
+	// RemoteBytes counts bytes sent to other ranks only.
+	RemoteBytes int64
+	// ReduceOctants is the number of octant records this rank sent during
+	// the upward reduction.
+	ReduceOctants int64
+	// ReduceRounds is the number of exchange rounds the reduction backend
+	// ran (log p for the hypercube, 1 for the direct scheme).
+	ReduceRounds int64
+}
+
+// Traffic is the cumulative per-(backend, rank) communication counters of
+// every sharded Apply in this process — the scoreboard for racing the
+// hypercube against the simple scheme.
+type Traffic struct {
+	Backend string
+	Rank    int
+	// Applies counts sharded Apply calls that recorded into this row.
+	Applies int64
+	RankTraffic
+}
+
+// trafficKey identifies one registry row.
+type trafficKey struct {
+	backend string
+	rank    int
+}
+
+// registry accumulates process-wide sharded-apply traffic, mirroring the
+// process-wide translation cache: the serving layer reads it for /metrics
+// regardless of which plan (or how many) did the communicating.
+type registry struct {
+	mu   sync.Mutex
+	rows map[trafficKey]*Traffic
+}
+
+// Metrics is the process-wide sharded-communication traffic registry.
+var Metrics = &registry{rows: make(map[trafficKey]*Traffic)}
+
+func (g *registry) add(backend string, rank int, t RankTraffic) {
+	k := trafficKey{backend: backend, rank: rank}
+	g.mu.Lock()
+	row, ok := g.rows[k]
+	if !ok {
+		row = &Traffic{Backend: backend, Rank: rank}
+		g.rows[k] = row
+	}
+	row.Applies++
+	row.BytesSent += t.BytesSent
+	row.MsgsSent += t.MsgsSent
+	row.RemoteBytes += t.RemoteBytes
+	row.ReduceOctants += t.ReduceOctants
+	row.ReduceRounds += t.ReduceRounds
+	g.mu.Unlock()
+}
+
+// Rows returns a copy of every row, sorted by backend then rank, so metric
+// output is deterministic.
+func (g *registry) Rows() []Traffic {
+	g.mu.Lock()
+	out := make([]Traffic, 0, len(g.rows))
+	for _, row := range g.rows {
+		out = append(out, *row)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Backend != out[j].Backend {
+			return out[i].Backend < out[j].Backend
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Reset clears the registry (tests only).
+func (g *registry) Reset() {
+	g.mu.Lock()
+	g.rows = make(map[trafficKey]*Traffic)
+	g.mu.Unlock()
+}

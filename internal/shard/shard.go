@@ -1,0 +1,454 @@
+// Package shard runs one evaluation plan as a coordinated multi-rank
+// computation: the plan's global octree leaves are Morton-partitioned
+// across R in-process ranks, each rank assembles the local essential tree
+// of Algorithm 2 over its share (dtree.BuildLET), and every Apply executes
+// the paper's distributed evaluation pipeline — per-shard upward pass,
+// ghost up-density exchange, the shared-octant upward reduction behind a
+// pluggable CommBackend (Algorithm 3's hypercube or the direct
+// point-to-point scheme of Kailasa et al.), then the V/X/W/U phases on
+// local targets — and gathers the per-rank potentials into one response in
+// input point order.
+//
+// Because the ranks partition the leaves of the ALREADY-BUILT global tree
+// (rather than re-running distributed tree construction), every rank's LET
+// reproduces the exact interaction-list structure of the single-engine
+// plan: a sharded Apply differs from the single-engine barrier oracle only
+// in the floating-point summation order of the shared octants' upward
+// densities, which keeps the differential within 1e-12 for any R.
+//
+// All ranks share the solver's translation operators, and through them the
+// process-wide V-list translation-spectrum cache: spectra prewarmed at plan
+// time are hit by every shard of every plan for the same (kernel, order).
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kifmm/internal/diag"
+	"kifmm/internal/dtree"
+	"kifmm/internal/kifmm"
+	"kifmm/internal/mpi"
+	"kifmm/internal/octree"
+	"kifmm/internal/parfmm"
+)
+
+// Config sizes a sharded plan.
+type Config struct {
+	// Ranks is the number of in-process ranks R (≥ 1).
+	Ranks int
+	// Backend completes the shared octants' upward densities (nil selects
+	// Hypercube, the paper's Algorithm 3).
+	Backend CommBackend
+	// Ops are the solver's translation operators, shared read-only by every
+	// rank (and, through the process-wide spectrum cache, by every plan for
+	// the same kernel and order).
+	Ops *kifmm.Operators
+	// UseFFTM2L selects the FFT-diagonalized V-list translation.
+	UseFFTM2L bool
+	// Workers is the total worker budget, split evenly across ranks (each
+	// rank gets max(1, Workers/Ranks) engine workers).
+	Workers int
+	// VBlock overrides the FFT V-list block size inside each rank's engine.
+	VBlock int
+	// LoadBalance partitions leaves by estimated interaction work instead
+	// of raw point counts (Section III-B's weighting, computed from the
+	// global tree's lists).
+	LoadBalance bool
+}
+
+// rankState is one rank's immutable setup: its LET, the streaming layout
+// built over it, and the mapping from its owned points back to the caller's
+// input order.
+type rankState struct {
+	dt     *dtree.DistTree
+	layout *kifmm.Layout
+	// ownedNodes are the LET node indices of the owned leaves, aligned with
+	// dt.Leaves.
+	ownedNodes []int32
+	// srcIdx maps this rank's owned points (concatenated leaf by leaf, in
+	// Morton order) to original input point indices.
+	srcIdx []int32
+}
+
+// Plan is a sharded evaluation plan: R per-rank local essential trees plus
+// layouts over one partitioned global octree. Like the single-engine plan
+// it is safe for concurrent use — each Apply checks out a private set of R
+// engines from a free list.
+type Plan struct {
+	cfg    Config
+	ranks  []*rankState
+	n      int // input points
+	sd, td int
+	vecLen int
+
+	mu   sync.Mutex
+	free [][]*kifmm.Engine
+	prof *diag.Profile
+
+	applies atomic.Int64
+}
+
+// maxFreeSets caps the engine-set free list (sets beyond it are dropped for
+// the GC after concurrency bursts).
+const maxFreeSets = 4
+
+// BuildPlan partitions the global tree's leaves across cfg.Ranks ranks and
+// assembles each rank's local essential tree. The tree must have been built
+// by octree.Build (it carries the input-order permutation) with interaction
+// lists built; it is only read. Returns an error — never panics — when the
+// partition is infeasible (fewer leaves than ranks, or a backend that
+// requires a power-of-two rank count).
+func BuildPlan(tree *octree.Tree, cfg Config) (*Plan, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("shard: need at least one rank, got %d", cfg.Ranks)
+	}
+	if cfg.Ops == nil {
+		return nil, fmt.Errorf("shard: nil operators")
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = Hypercube
+	}
+	if cfg.Backend.NeedsPow2() && cfg.Ranks&(cfg.Ranks-1) != 0 {
+		return nil, fmt.Errorf("shard: the %s backend requires a power-of-two rank count, got %d",
+			cfg.Backend.Name(), cfg.Ranks)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	R := cfg.Ranks
+	if len(tree.Leaves) < R {
+		return nil, fmt.Errorf("shard: %d ranks but the tree has only %d leaf octants; "+
+			"reduce shards or points per box", R, len(tree.Leaves))
+	}
+
+	// Global leaves in Morton order with their work weights. Leaf point
+	// slices alias the tree's point storage (read-only from here on).
+	leaves := make([]dtree.Leaf, len(tree.Leaves))
+	weights := make([]int64, len(tree.Leaves))
+	for i, li := range tree.Leaves {
+		n := &tree.Nodes[li]
+		leaves[i] = dtree.Leaf{Key: n.Key, Pts: tree.Points[n.PtLo:n.PtHi]}
+		if cfg.LoadBalance {
+			weights[i] = leafWorkWeight(tree, li, cfg.Ops.CheckLen())
+		} else {
+			weights[i] = int64(n.NPoints()) + 1
+		}
+	}
+	bounds := partitionLeaves(weights, R)
+
+	// Per-rank LET assembly: collective, one goroutine per rank.
+	dts := make([]*dtree.DistTree, R)
+	mpi.Run(R, func(c *mpi.Comm) {
+		lo, hi := bounds[c.Rank()][0], bounds[c.Rank()][1]
+		dts[c.Rank()] = dtree.BuildLET(c, leaves[lo:hi])
+	})
+
+	p := &Plan{
+		cfg:    cfg,
+		ranks:  make([]*rankState, R),
+		n:      len(tree.Points),
+		sd:     cfg.Ops.Kern.SrcDim(),
+		td:     cfg.Ops.Kern.TrgDim(),
+		vecLen: cfg.Ops.UpwardLen(),
+	}
+	for r := 0; r < R; r++ {
+		rs := &rankState{dt: dts[r], layout: kifmm.NewLayout(dts[r].Tree, cfg.Ops)}
+		lo, hi := bounds[r][0], bounds[r][1]
+		for gi := lo; gi < hi; gi++ {
+			li := tree.Leaves[gi]
+			n := &tree.Nodes[li]
+			idx, ok := dts[r].Tree.Index(n.Key)
+			if !ok {
+				return nil, fmt.Errorf("shard: owned leaf %v missing from rank %d LET", n.Key, r)
+			}
+			rs.ownedNodes = append(rs.ownedNodes, idx)
+			for pt := int(n.PtLo); pt < int(n.PtHi); pt++ {
+				orig := pt
+				if tree.Perm != nil {
+					orig = tree.Perm[pt]
+				}
+				rs.srcIdx = append(rs.srcIdx, int32(orig))
+			}
+		}
+		p.ranks[r] = rs
+	}
+	return p, nil
+}
+
+// leafWorkWeight estimates a leaf's interaction work from the global tree's
+// lists — the per-leaf quantity the paper's Section III-B load balancing
+// equalizes (same formula as dtree.LeafWorkWeights, over the global tree).
+func leafWorkWeight(t *octree.Tree, li int32, surfPoints int) int64 {
+	n := &t.Nodes[li]
+	np := int64(n.NPoints())
+	s := int64(surfPoints)
+	var w int64
+	for _, a := range n.U {
+		w += np * int64(t.Nodes[a].NPoints())
+	}
+	w += int64(len(n.V)) * s * s
+	w += int64(len(n.W)) * np * s
+	w += int64(len(n.X)) * np * s
+	w += np * s // S2U + D2T
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// partitionLeaves splits the weight sequence into R contiguous non-empty
+// groups with approximately equal totals, returning [lo, hi) index bounds
+// per rank. Greedy with a leaves-remaining guard: every rank is guaranteed
+// at least one leaf (the caller checked len(w) ≥ R).
+//
+//fmm:deterministic
+func partitionLeaves(w []int64, R int) [][2]int {
+	var total int64
+	for _, v := range w {
+		total += v
+	}
+	bounds := make([][2]int, R)
+	lo := 0
+	remaining := total
+	for r := 0; r < R; r++ {
+		if r == R-1 {
+			bounds[r] = [2]int{lo, len(w)}
+			break
+		}
+		target := remaining / int64(R-r)
+		var acc int64
+		hi := lo
+		for hi < len(w) {
+			// Leave at least one leaf for each remaining rank.
+			if len(w)-hi-1 < R-r-1 {
+				break
+			}
+			if hi > lo && acc+w[hi]/2 > target {
+				break
+			}
+			acc += w[hi]
+			hi++
+		}
+		if hi == lo {
+			hi = lo + 1 // guard: always take at least one leaf
+			acc = w[lo]
+		}
+		bounds[r] = [2]int{lo, hi}
+		lo = hi
+		remaining -= acc
+	}
+	return bounds
+}
+
+// NumPoints returns the number of points the plan was built for.
+func (p *Plan) NumPoints() int { return p.n }
+
+// Ranks returns the shard count R.
+func (p *Plan) Ranks() int { return p.cfg.Ranks }
+
+// Backend returns the configured communication backend's name.
+func (p *Plan) Backend() string { return p.cfg.Backend.Name() }
+
+// Applies returns how many Apply calls have completed.
+func (p *Plan) Applies() int64 { return p.applies.Load() }
+
+// SetProfile attaches a diag profile receiving per-phase timings and flop
+// counts from every rank of subsequent Apply calls (nil detaches).
+func (p *Plan) SetProfile(prof *diag.Profile) {
+	p.mu.Lock()
+	p.prof = prof
+	p.mu.Unlock()
+}
+
+// MemoryBytes estimates the plan's resident size across all ranks: LET
+// points and interaction lists plus one engine's per-node and per-point
+// state and the streaming layout, mirroring the single-engine estimate.
+func (p *Plan) MemoryBytes() int64 {
+	ops := p.cfg.Ops
+	var totalBytes int64
+	for _, rs := range p.ranks {
+		t := rs.dt.Tree
+		var lists int64
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
+			lists += int64(len(n.U)+len(n.V)+len(n.W)+len(n.X)) * 4
+		}
+		nodes := int64(len(t.Nodes))
+		pts := int64(len(t.Points))
+		const nodeStruct = 120
+		engine := nodes*int64(2*ops.UpwardLen()+ops.CheckLen())*8 +
+			pts*int64(p.sd+p.td)*8
+		layout := pts*(3*8+3*4) + nodes*(4*8+1)
+		totalBytes += nodes*nodeStruct + lists + pts*(24+8) + engine + layout
+	}
+	return totalBytes
+}
+
+// perRankWorkers splits the total worker budget evenly across ranks.
+func (p *Plan) perRankWorkers() int {
+	w := p.cfg.Workers / p.cfg.Ranks
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// getEngines checks out one reset engine per rank.
+func (p *Plan) getEngines() ([]*kifmm.Engine, *diag.Profile) {
+	p.mu.Lock()
+	var set []*kifmm.Engine
+	if n := len(p.free); n > 0 {
+		set = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	prof := p.prof
+	p.mu.Unlock()
+	if set == nil {
+		set = make([]*kifmm.Engine, p.cfg.Ranks)
+		for r := range set {
+			eng := kifmm.NewEngineLayout(p.cfg.Ops, p.ranks[r].dt.Tree, p.ranks[r].layout)
+			eng.UseFFTM2L = p.cfg.UseFFTM2L
+			eng.Workers = p.perRankWorkers()
+			eng.VBlock = p.cfg.VBlock
+			set[r] = eng
+		}
+	} else {
+		for _, eng := range set {
+			eng.Reset()
+		}
+	}
+	for _, eng := range set {
+		eng.Prof = prof
+	}
+	return set, prof
+}
+
+func (p *Plan) putEngines(set []*kifmm.Engine) {
+	p.mu.Lock()
+	if len(p.free) < maxFreeSets {
+		p.free = append(p.free, set)
+	}
+	p.mu.Unlock()
+}
+
+// Apply evaluates the potentials for one density vector (input point order,
+// SrcDim components per point) as a coordinated R-rank evaluation and
+// returns them in input point order with TrgDim components per point.
+func (p *Plan) Apply(densities []float64) ([]float64, error) {
+	if len(densities) != p.n*p.sd {
+		return nil, fmt.Errorf("shard: %d densities for %d points (want %d per point)",
+			len(densities), p.n, p.sd)
+	}
+	set, prof := p.getEngines()
+	out := make([]float64, p.n*p.td)
+	backend := p.cfg.Backend
+	traffic := make([]RankTraffic, p.cfg.Ranks)
+
+	mpi.Run(p.cfg.Ranks, func(c *mpi.Comm) {
+		r := c.Rank()
+		rs := p.ranks[r]
+		eng := set[r]
+
+		// Owned densities in, partial upward densities from the local
+		// subtree.
+		placeDensities(rs, eng, densities, p.sd)
+		eng.S2U()
+		eng.U2U()
+
+		// Communication: exact ghost densities for the direct interactions,
+		// then the backend completes the shared octants' upward densities.
+		snap := c.Stats().Snap()
+		t0 := time.Now()
+		parfmm.ExchangeGhostDensities(c, eng, rs.dt, p.sd)
+		items := parfmm.PartialUpwardItems(eng, rs.dt)
+		completed, rst := backend.Reduce(c, rs.dt.Part, items, p.vecLen)
+		parfmm.InstallUpward(eng, rs.dt, completed)
+		commDur := time.Since(t0)
+		delta := snap.Delta(c.Stats().Snap())
+		traffic[r] = RankTraffic{
+			BytesSent:     delta.Bytes,
+			MsgsSent:      delta.Messages,
+			RemoteBytes:   delta.RemoteBytes,
+			ReduceOctants: int64(rst.OctantsSentTotal),
+			ReduceRounds:  int64(len(rst.OctantsSentPerRound)),
+		}
+		if prof != nil {
+			prof.AddTime(diag.ShardCommPhase(backend.Name()), commDur)
+		}
+
+		// Far-field translations and local passes on local targets.
+		eng.VLI()
+		eng.XLI()
+		eng.Downward()
+		eng.WLI()
+		eng.D2T()
+		eng.ULI()
+
+		gatherPotentials(rs, eng, out, p.td)
+	})
+
+	for r, t := range traffic {
+		Metrics.add(backend.Name(), r, t)
+	}
+	if prof != nil {
+		prof.AddCounter(diag.CounterShardApplies, 1)
+	}
+	p.putEngines(set)
+	p.applies.Add(1)
+	return out, nil
+}
+
+// Traffic returns the traffic each rank generated during the most recent
+// accounting window — the process-wide cumulative rows for this plan's
+// backend (shared with every other plan on the same backend; see Metrics).
+func (p *Plan) Traffic() []Traffic {
+	name := p.cfg.Backend.Name()
+	rows := Metrics.Rows()
+	out := rows[:0:0]
+	for _, row := range rows {
+		if row.Backend == name {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// placeDensities copies the caller-ordered densities of this rank's owned
+// points into the engine's tree-ordered density array, leaf by leaf.
+//
+//fmm:hotpath
+//fmm:deterministic
+func placeDensities(rs *rankState, eng *kifmm.Engine, densities []float64, sd int) {
+	t := rs.dt.Tree
+	j := 0
+	for _, idx := range rs.ownedNodes {
+		n := &t.Nodes[idx]
+		for pt := int(n.PtLo); pt < int(n.PtHi); pt++ {
+			src := int(rs.srcIdx[j])
+			j++
+			copy(eng.Density[pt*sd:(pt+1)*sd], densities[src*sd:(src+1)*sd])
+		}
+	}
+}
+
+// gatherPotentials scatters this rank's owned-point potentials back into
+// the caller-ordered output. Ranks own disjoint input indices, so
+// concurrent gathers write disjoint elements.
+//
+//fmm:hotpath
+//fmm:deterministic
+func gatherPotentials(rs *rankState, eng *kifmm.Engine, out []float64, td int) {
+	t := rs.dt.Tree
+	j := 0
+	for _, idx := range rs.ownedNodes {
+		n := &t.Nodes[idx]
+		for pt := int(n.PtLo); pt < int(n.PtHi); pt++ {
+			dst := int(rs.srcIdx[j])
+			j++
+			copy(out[dst*td:(dst+1)*td], eng.Potential[pt*td:(pt+1)*td])
+		}
+	}
+}

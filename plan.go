@@ -11,6 +11,7 @@ import (
 	ikifmm "kifmm/internal/kifmm"
 	"kifmm/internal/octree"
 	"kifmm/internal/sched"
+	"kifmm/internal/shard"
 	"kifmm/internal/stream"
 )
 
@@ -32,6 +33,10 @@ type Plan struct {
 	// shared read-only by every engine this plan checks out.
 	layout *ikifmm.Layout
 	n      int
+	// shard, when non-nil, makes Apply run the coordinated multi-rank
+	// evaluation over Options.Shards local essential trees instead of the
+	// single-engine phase sequence (Options.Shards > 0).
+	shard *shard.Plan
 
 	mu   sync.Mutex
 	free []*ikifmm.Engine
@@ -81,6 +86,29 @@ func (f *FMM) Plan(points []Point) (*Plan, error) {
 		}
 		f.ops.FFT().Prewarm(levels, f.opt.Workers)
 	}
+	if f.opt.Shards > 0 {
+		// Sharded plan: partition this tree's leaves across R ranks and
+		// assemble their local essential trees. The prewarmed spectra above
+		// cover every rank (LET V-list levels are a subset of the global
+		// tree's), landing in the process-wide cache all shards share.
+		backend, err := shard.BackendByName(f.opt.ShardComm)
+		if err != nil {
+			return nil, fmt.Errorf("kifmm: %w", err)
+		}
+		sp, err := shard.BuildPlan(tree, shard.Config{
+			Ranks:       f.opt.Shards,
+			Backend:     backend,
+			Ops:         f.ops,
+			UseFFTM2L:   !f.opt.DenseM2L,
+			Workers:     f.opt.Workers,
+			VBlock:      f.opt.VListBlock,
+			LoadBalance: !f.opt.NoLoadBalance,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("kifmm: %w", err)
+		}
+		return &Plan{f: f, tree: tree, n: len(points), shard: sp}, nil
+	}
 	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops), n: len(points)}, nil
 }
 
@@ -97,6 +125,19 @@ func TranslationCache() TranslationCacheStats {
 	return ikifmm.SharedTranslations.Stats()
 }
 
+// ShardTraffic is one (backend, rank) row of the process-wide sharded
+// communication counters: cumulative bytes, messages, reduction octant
+// records, and exchange rounds across every sharded Apply in this process.
+type ShardTraffic = shard.Traffic
+
+// ShardTrafficStats returns the process-wide sharded-communication traffic
+// rows, sorted by backend then rank — the scoreboard for comparing the
+// hypercube reduction against the direct point-to-point scheme. The serving
+// layer exposes these on /metrics.
+func ShardTrafficStats() []ShardTraffic {
+	return shard.Metrics.Rows()
+}
+
 // NumPoints returns the number of points the plan was built for.
 func (p *Plan) NumPoints() int { return p.n }
 
@@ -110,12 +151,40 @@ func (p *Plan) SetProfile(prof *diag.Profile) {
 	p.mu.Lock()
 	p.prof = prof
 	p.mu.Unlock()
+	if p.shard != nil {
+		p.shard.SetProfile(prof)
+	}
+}
+
+// Shards returns the rank count of a sharded plan (0 for single-engine
+// plans).
+func (p *Plan) Shards() int {
+	if p.shard == nil {
+		return 0
+	}
+	return p.shard.Ranks()
+}
+
+// ShardBackend returns the communication backend name of a sharded plan
+// ("" for single-engine plans).
+func (p *Plan) ShardBackend() string {
+	if p.shard == nil {
+		return ""
+	}
+	return p.shard.Backend()
 }
 
 // MemoryBytes estimates the plan's resident size: tree points and
 // interaction lists plus one engine's per-node and per-point state. The
 // serving layer uses it for cache accounting.
 func (p *Plan) MemoryBytes() int64 {
+	if p.shard != nil {
+		// Global tree (kept for the lifetime of the plan) plus every rank's
+		// LET, layout, and engine state.
+		nodes := int64(len(p.tree.Nodes))
+		pts := int64(len(p.tree.Points))
+		return nodes*120 + pts*(24+8) + p.shard.MemoryBytes()
+	}
 	ops := p.f.ops
 	var lists int64
 	for i := range p.tree.Nodes {
@@ -187,6 +256,14 @@ func (p *Plan) useDAG() bool {
 // run either as the paper's barrier-separated loops or as a dependency
 // task graph on the internal scheduler (bit-identical results either way).
 func (p *Plan) Apply(densities []float64) ([]float64, error) {
+	if p.shard != nil {
+		out, err := p.shard.Apply(densities)
+		if err != nil {
+			return nil, fmt.Errorf("kifmm: %w", err)
+		}
+		p.evals.Add(1)
+		return out, nil
+	}
 	out, _, err := p.apply(densities, nil)
 	return out, err
 }
@@ -198,6 +275,9 @@ func (p *Plan) Apply(densities []float64) ([]float64, error) {
 // of Options.Exec; it errors on device-accelerated plans, whose phase
 // schedule the streaming device owns.
 func (p *Plan) ApplyTraced(densities []float64) (potentials []float64, trace []byte, err error) {
+	if p.shard != nil {
+		return nil, nil, fmt.Errorf("kifmm: tracing requires the task-graph execution path (sharded plans coordinate ranks themselves)")
+	}
 	if p.f.opt.Accelerated {
 		return nil, nil, fmt.Errorf("kifmm: tracing requires the task-graph execution path (accelerated plans schedule phases on the device)")
 	}
