@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-nearfield bench-json bench-shard bench-smoke sched-stress shard-stress lint ci
+.PHONY: build vet test race bench bench-nearfield bench-json bench-shard bench-session bench-smoke sched-stress shard-stress session-stress lint ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ bench-json:
 bench-shard:
 	$(GO) run ./cmd/benchjson -pkg ./internal/shard/ -bench BenchmarkShardedApply -benchtime 3x -o BENCH_shard.json
 
+# Moving-points session step (0.1%/1%/10% migration on the 100k uniform
+# ensemble) against the stateless re-plan baselines, written as
+# machine-readable JSON for EXPERIMENTS.md and CI artifacts.
+bench-session:
+	$(GO) run ./cmd/benchjson -pkg ./internal/session/ -bench BenchmarkSessionStep -benchtime 3x -o BENCH_session.json
+
 # Compile-and-run every benchmark exactly once: catches bitrot in benchmark
 # code without paying for real measurement (the -run pattern matches no
 # tests).
@@ -55,6 +61,13 @@ sched-stress:
 shard-stress:
 	$(GO) test -race -count=3 ./internal/shard/...
 
+# Repeated race runs of the moving-points session differential tests: the
+# incremental tree edits, list patching, and engine-state reuse must agree
+# with a fresh plan under the race detector across repeated randomized
+# delta sequences.
+session-stress:
+	$(GO) test -race -count=3 ./internal/session/...
+
 # Project-specific static analysis (DESIGN.md §7.5): build the fmmvet
 # multichecker and run it over the tree through `go vet -vettool`, so
 # results are cached by the go build cache like any other vet run.
@@ -62,4 +75,4 @@ lint:
 	$(GO) build -o bin/fmmvet ./cmd/fmmvet
 	$(GO) vet -vettool=bin/fmmvet ./...
 
-ci: build vet lint race sched-stress shard-stress bench-smoke
+ci: build vet lint race sched-stress shard-stress session-stress bench-smoke

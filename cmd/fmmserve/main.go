@@ -9,6 +9,18 @@
 //	curl -s localhost:8344/v1/evaluate -d '{"plan_id":"...","densities":[...]}'
 //	curl -s localhost:8344/metrics
 //
+// Moving-points workloads (e.g. a particle time-stepper) open a session:
+// the server keeps the octree, interaction lists, and engine state resident
+// and advances them incrementally per delta instead of re-planning:
+//
+//	curl -s localhost:8344/v1/session -d '{"points":[[0.1,0.2,0.3],...]}'
+//	curl -s localhost:8344/v1/session/<id>/step \
+//	    -d '{"move":[{"id":0,"to":[0.11,0.2,0.3]}],"densities":[...]}'
+//	curl -s -X DELETE localhost:8344/v1/session/<id>
+//
+// Sessions are capped by -max-sessions (429 beyond it) and expire after
+// -session-ttl idle; a live session pins its originating plan in the cache.
+//
 // With -trace-dir set, every evaluation additionally dumps a Chrome
 // trace_event JSON of the task-graph scheduler's execution (one timeline
 // row per worker, one slice per per-octant task) into the directory,
@@ -50,6 +62,9 @@ func main() {
 		traceDir   = flag.String("trace-dir", "", "dump a Chrome trace JSON per evaluation into this directory (see chrome://tracing)")
 		traceKeep  = flag.Int("trace-keep", 32, "trace files retained in -trace-dir (oldest deleted)")
 		maxShards  = flag.Int("max-shards", 16, "per-request shard count cap (options.shards beyond this, 400)")
+		maxSess    = flag.Int("max-sessions", 16, "concurrent moving-points session cap (beyond this, 429)")
+		sessTTL    = flag.Duration("session-ttl", 10*time.Minute, "idle session lifetime (each step resets it)")
+		maxBody    = flag.Int64("max-body", 256<<20, "request body size cap in bytes (beyond this, 413)")
 	)
 	flag.Parse()
 
@@ -62,6 +77,9 @@ func main() {
 		TraceDir:       *traceDir,
 		TraceKeep:      *traceKeep,
 		MaxShards:      *maxShards,
+		MaxSessions:    *maxSess,
+		SessionTTL:     *sessTTL,
+		MaxBodyBytes:   *maxBody,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: svc}
 

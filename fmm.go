@@ -93,9 +93,12 @@ type Options struct {
 	DenseM2L bool
 	// Workers bounds shared-memory parallelism inside each rank (default 1).
 	Workers int
-	// VListBlock overrides the FFT V-list target block size (0 = derive it
-	// from the worker count and the spectrum footprint). The block bounds
-	// the live-spectrum memory of the direction-batched translation phase.
+	// VListBlock overrides the FFT V-list target block size. The block
+	// bounds the live-spectrum memory of the direction-batched translation
+	// phase. Zero (the default) derives the size from an 8 MiB budget for
+	// the block's live target accumulators — block ≈ 8 MiB / (AccLen·8
+	// bytes) — clamped to at least 4·Workers targets (keeping every worker
+	// busy per block) and at most 1024. Negative values are rejected by New.
 	VListBlock int
 	// NoLoadBalance disables the work-weighted Morton repartitioning that
 	// distributed evaluation performs by default; set it to keep the initial
@@ -130,6 +133,16 @@ type Options struct {
 	// (the paper's Algorithm 3; requires power-of-two Shards; the default)
 	// or "simple" (single-round direct point-to-point, any shard count).
 	ShardComm string
+	// Targets, when non-empty, makes evaluation asymmetric: Plan builds its
+	// tree over the union of Targets and the source points, Apply takes
+	// densities for the sources only, and potentials come back for Targets
+	// only, in Targets order. The phase bodies skip source-side work in
+	// target-only subtrees and target-side work in source-only subtrees;
+	// every skipped term is exactly zero, so the result is bit-identical to
+	// evaluating the union with zero-density targets (EvaluateAt's trick)
+	// while skipping its wasted work. Incompatible with Shards and
+	// Accelerated.
+	Targets []Point
 }
 
 func (o Options) kernel() (kernel.Kernel, error) {
@@ -180,8 +193,11 @@ func New(opt Options) (*FMM, error) {
 	if opt.Workers == 0 {
 		opt.Workers = 1
 	}
-	if opt.PointsPerBox < 1 || opt.Order < 2 || opt.MaxDepth < 1 || opt.MaxDepth > 30 || opt.VListBlock < 0 {
+	if opt.PointsPerBox < 1 || opt.Order < 2 || opt.MaxDepth < 1 || opt.MaxDepth > 30 {
 		return nil, fmt.Errorf("kifmm: invalid options %+v", opt)
+	}
+	if opt.VListBlock < 0 {
+		return nil, fmt.Errorf("kifmm: negative VListBlock %d (use 0 to derive the block size from the 8 MiB accumulator budget)", opt.VListBlock)
 	}
 	if opt.Exec < ExecAuto || opt.Exec > ExecDAG {
 		return nil, fmt.Errorf("kifmm: invalid exec mode %d", opt.Exec)
@@ -211,6 +227,20 @@ func New(opt Options) (*FMM, error) {
 	} else if opt.ShardComm != "" {
 		if _, err := shard.BackendByName(opt.ShardComm); err != nil {
 			return nil, fmt.Errorf("kifmm: %w", err)
+		}
+	}
+	if len(opt.Targets) > 0 {
+		if opt.Shards > 0 {
+			return nil, fmt.Errorf("kifmm: asymmetric evaluation (Targets) does not support sharded plans")
+		}
+		if opt.Accelerated {
+			return nil, fmt.Errorf("kifmm: asymmetric evaluation (Targets) does not support accelerated evaluation")
+		}
+		cube := geom.UnitCube()
+		for i, p := range opt.Targets {
+			if !cube.Contains(geom.Point(p)) {
+				return nil, fmt.Errorf("kifmm: target %d (%v) outside the unit cube", i, p)
+			}
 		}
 	}
 	return &FMM{opt: opt, kern: k, ops: ikifmm.NewOperators(k, opt.Order, opt.Tolerance)}, nil

@@ -88,13 +88,13 @@ func (e *Engine) buildDAG() *sched.Graph {
 	// dependencies).
 	for _, i := range t.Leaves {
 		n := &t.Nodes[i]
-		if !n.Local || n.NPoints() == 0 {
+		if !n.Local || n.NPoints() == 0 || !e.srcNode(i) {
 			continue
 		}
 		uTask[i] = dagTask(g, e, "S2U", sched.PriCritical, diag.PhaseUpward, e.s2uLeaf, i)
 	}
 	for i := 0; i < nn; i++ {
-		if !t.Nodes[i].IsLeaf {
+		if !t.Nodes[i].IsLeaf && e.srcNode(int32(i)) {
 			uTask[i] = dagTask(g, e, "U2U", sched.PriCritical, diag.PhaseUpward, e.u2uNode, int32(i))
 		}
 	}
@@ -117,7 +117,7 @@ func (e *Engine) buildDAG() *sched.Graph {
 	} else {
 		for i := 0; i < nn; i++ {
 			n := &t.Nodes[i]
-			if len(n.V) == 0 {
+			if len(n.V) == 0 || !e.trgNode(int32(i)) {
 				continue
 			}
 			vTask[i] = dagTask(g, e, "V", sched.PriHigh, diag.PhaseVList,
@@ -133,7 +133,7 @@ func (e *Engine) buildDAG() *sched.Graph {
 	// X-list: reads source points (no upward deps), but chained after the
 	// octant's V task to preserve the DChk accumulation order.
 	for i := 0; i < nn; i++ {
-		if len(t.Nodes[i].X) == 0 {
+		if len(t.Nodes[i].X) == 0 || !e.trgNode(int32(i)) {
 			continue
 		}
 		xTask[i] = dagTask(g, e, "X", sched.PriNormal, diag.PhaseXList, e.xliNode, int32(i))
@@ -147,7 +147,7 @@ func (e *Engine) buildDAG() *sched.Graph {
 	// octant's last DChk contribution.
 	for i := 0; i < nn; i++ {
 		n := &t.Nodes[i]
-		if !n.Local {
+		if !n.Local || !e.trgNode(int32(i)) {
 			continue
 		}
 		dTask[i] = dagTask(g, e, "D2D", sched.PriHigh, diag.PhaseDownward, e.downwardNode, int32(i))
@@ -167,6 +167,9 @@ func (e *Engine) buildDAG() *sched.Graph {
 	// W-list, then the leaf's own downward field, then the direct sum.
 	for _, i := range t.Leaves {
 		n := &t.Nodes[i]
+		if !e.trgNode(i) {
+			continue
+		}
 		if len(n.W) > 0 && n.NPoints() > 0 {
 			wTask[i] = dagTask(g, e, "W", sched.PriLow, diag.PhaseWList, e.wliLeaf, i)
 			for _, a := range n.W {
@@ -213,7 +216,13 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 	}
 
 	for i := 0; i < nn; i++ {
+		if !e.trgNode(int32(i)) {
+			continue
+		}
 		for _, a := range t.Nodes[i].V {
+			if !e.srcNode(a) {
+				continue
+			}
 			refs[a]++
 			if specTask[a] == sched.NoTask {
 				a := a
@@ -232,12 +241,15 @@ func (e *Engine) buildVFFT(g *sched.Graph, uTask, vTask []sched.TaskID) {
 	}
 	for i := 0; i < nn; i++ {
 		n := &t.Nodes[i]
-		if len(n.V) == 0 {
+		if len(n.V) == 0 || !e.trgNode(int32(i)) {
 			continue
 		}
 		vTask[i] = dagTask(g, e, "Vfft", sched.PriHigh, diag.PhaseVList,
 			func(i int32, s *evalScratch) { e.vliFFTNode(i, f, spec, refs, s) }, int32(i))
 		for _, a := range n.V {
+			if !e.srcNode(a) {
+				continue
+			}
 			g.Dep(specTask[a], vTask[i])
 		}
 	}
@@ -263,6 +275,9 @@ func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][]float64, refs []int32, 
 	}
 	vs := s.vsort[:0]
 	for _, a := range n.V {
+		if !e.srcNode(a) {
+			continue
+		}
 		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
 		vs = append(vs, vRef{dir: packDir(dx, dy, dz), a: a}) //fmm:allow hotalloc amortized growth of per-worker vsort scratch
 	}
@@ -278,7 +293,12 @@ func (e *Engine) vliFFTNode(i int32, f *FFTM2L, spec [][]float64, refs []int32, 
 	}
 	scale := e.Ops.KernScale(n.Key.Level())
 	f.ExtractCheck(acc, scale, e.DChk[i], s.grid(f.GridLen()))
+	// Release must mirror the builder's ref counting exactly: only sources
+	// it counted (mask-selected) were incremented.
 	for _, a := range n.V {
+		if !e.srcNode(a) {
+			continue
+		}
 		if atomic.AddInt32(&refs[a], -1) == 0 {
 			spec[a] = nil
 		}

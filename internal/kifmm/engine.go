@@ -50,6 +50,15 @@ type Engine struct {
 	Workers int
 	// Prof, when non-nil, receives per-phase timings and flop counts.
 	Prof *diag.Profile
+	// SrcSub and TrgSub, when non-nil, mark per node whether its subtree
+	// holds at least one source (density-carrying) or target
+	// (potential-receiving) point — the asymmetric-evaluation masks set by
+	// SetSplitRoles. Phase bodies skip source-side work outside SrcSub and
+	// target-side work outside TrgSub; every skipped term is exactly zero
+	// (zero densities in, zero fields out), so masked evaluation is
+	// bit-identical to evaluating the union symmetrically. nil means every
+	// point is both (the symmetric case).
+	SrcSub, TrgSub []bool
 
 	// U holds per-node upward-equivalent densities (UpwardLen each).
 	U [][]float64
@@ -108,6 +117,104 @@ func NewEngineLayout(ops *Operators, tree *octree.Tree, layout *Layout) *Engine 
 		e.DChk[i] = make([]float64, cl)
 	}
 	return e
+}
+
+// srcNode reports whether node i's subtree carries source densities
+// (always true in the symmetric case).
+func (e *Engine) srcNode(i int32) bool { return e.SrcSub == nil || e.SrcSub[i] }
+
+// trgNode reports whether node i's subtree carries target points
+// (always true in the symmetric case).
+func (e *Engine) trgNode(i int32) bool { return e.TrgSub == nil || e.TrgSub[i] }
+
+// SetSplitRoles installs the asymmetric-evaluation masks for a union tree
+// whose ORIGINAL point indices [0, nLead) are targets and [nLead, n) are
+// sources: SrcSub/TrgSub are derived bottom-up from the per-leaf point
+// roles. nLead <= 0 restores the symmetric state (every point both roles).
+func (e *Engine) SetSplitRoles(nLead int) {
+	if nLead <= 0 {
+		e.SrcSub, e.TrgSub = nil, nil
+		return
+	}
+	t := e.Tree
+	nn := len(t.Nodes)
+	src := make([]bool, nn)
+	trg := make([]bool, nn)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if !n.IsLeaf || n.NPoints() == 0 {
+			continue
+		}
+		for p := int(n.PtLo); p < int(n.PtHi); p++ {
+			o := p
+			if t.Perm != nil {
+				o = t.Perm[p]
+			}
+			if o < nLead {
+				trg[i] = true
+			} else {
+				src[i] = true
+			}
+		}
+	}
+	// Parents precede children in Nodes, so a single descending pass
+	// propagates the leaf roles to every ancestor.
+	for i := nn - 1; i >= 1; i-- {
+		n := &t.Nodes[i]
+		if n.Dead || n.Parent == octree.NoNode {
+			continue
+		}
+		src[n.Parent] = src[n.Parent] || src[i]
+		trg[n.Parent] = trg[n.Parent] || trg[i]
+	}
+	e.SrcSub, e.TrgSub = src, trg
+}
+
+// SetDensitiesMasked copies caller-ordered SOURCE densities into the
+// engine's union layout: original point indices [0, nLead) are zero-density
+// targets, and original index nLead+j carries src[j*sd:(j+1)*sd]. nLead <= 0
+// degenerates to SetPointDensities.
+func (e *Engine) SetDensitiesMasked(src []float64, nLead int) {
+	if nLead <= 0 {
+		e.SetPointDensities(src)
+		return
+	}
+	sd := e.Ops.Kern.SrcDim()
+	if want := (len(e.Tree.Points) - nLead) * sd; len(src) != want {
+		panic(fmt.Sprintf("kifmm: masked density length %d, want %d", len(src), want))
+	}
+	for i := range e.Tree.Points {
+		o := i
+		if e.Tree.Perm != nil {
+			o = e.Tree.Perm[i]
+		}
+		d := e.Density[i*sd : (i+1)*sd]
+		if o < nLead {
+			zero(d)
+		} else {
+			copy(d, src[(o-nLead)*sd:(o-nLead+1)*sd])
+		}
+	}
+}
+
+// SyncTree grows the per-node and per-point evaluation state after
+// incremental tree edits (appended octants, re-packed point array).
+// Surviving nodes keep their slices, so sessions reuse engines across
+// structural patches without reallocating the whole state.
+func (e *Engine) SyncTree() {
+	t := e.Tree
+	ul, cl := e.Ops.UpwardLen(), e.Ops.CheckLen()
+	for len(e.U) < len(t.Nodes) {
+		e.U = append(e.U, make([]float64, ul))
+		e.D = append(e.D, make([]float64, ul))
+		e.DChk = append(e.DChk, make([]float64, cl))
+	}
+	if n := len(t.Points) * e.Ops.Kern.SrcDim(); len(e.Density) != n {
+		e.Density = make([]float64, n)
+	}
+	if n := len(t.Points) * e.Ops.Kern.TrgDim(); len(e.Potential) != n {
+		e.Potential = make([]float64, n)
+	}
 }
 
 // Reset zeroes all evaluation state (densities are kept).
@@ -301,7 +408,7 @@ func (e *Engine) S2U() {
 func (e *Engine) s2uLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if !n.Local || n.NPoints() == 0 {
+	if !n.Local || n.NPoints() == 0 || !e.srcNode(i) {
 		return
 	}
 	L := e.Layout
@@ -346,7 +453,7 @@ func (e *Engine) U2U() {
 func (e *Engine) u2uNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if n.IsLeaf {
+	if n.IsLeaf || !e.srcNode(i) {
 		return
 	}
 	for ci, cj := range n.Children {
@@ -391,12 +498,15 @@ func (e *Engine) VLIFiltered(srcSel func(i int32) bool) {
 func (e *Engine) vliDenseNode(i int32, srcSel func(i int32) bool, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if len(n.V) == 0 {
+	if len(n.V) == 0 || !e.trgNode(i) {
 		return
 	}
 	tmp := s.chk
 	for _, a := range n.V {
 		if srcSel != nil && !srcSel(a) {
+			continue
+		}
+		if !e.srcNode(a) {
 			continue
 		}
 		dx, dy, dz := dirBetween(t.Nodes[a].Key, n.Key)
@@ -438,7 +548,7 @@ func (e *Engine) XLI() {
 func (e *Engine) xliNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if len(n.X) == 0 {
+	if len(n.X) == 0 || !e.trgNode(i) {
 		return
 	}
 	L := e.Layout
@@ -447,6 +557,9 @@ func (e *Engine) xliNode(i int32, s *evalScratch) {
 	L.InnerSurf(i, dx, dy, dz)
 	var pairs int
 	for _, a := range n.X {
+		if !e.srcNode(a) {
+			continue
+		}
 		an := &t.Nodes[a]
 		lo, hi := int(an.PtLo), int(an.PtHi)
 		e.bk.EvalPanel(dx, dy, dz, L.PX[lo:hi], L.PY[lo:hi], L.PZ[lo:hi],
@@ -480,7 +593,7 @@ func (e *Engine) Downward() {
 func (e *Engine) downwardNode(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if !n.Local {
+	if !n.Local || !e.trgNode(i) {
 		return
 	}
 	if n.Parent != octree.NoNode {
@@ -524,7 +637,7 @@ func (e *Engine) WLI() {
 func (e *Engine) wliLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if len(n.W) == 0 || n.NPoints() == 0 {
+	if len(n.W) == 0 || n.NPoints() == 0 || !e.trgNode(i) {
 		return
 	}
 	L := e.Layout
@@ -535,6 +648,9 @@ func (e *Engine) wliLeaf(i int32, s *evalScratch) {
 	ux, uy, uz := s.surf()
 	var pairs int
 	for _, a := range n.W {
+		if !e.srcNode(a) {
+			continue
+		}
 		L.InnerSurf(a, ux, uy, uz)
 		e.bk.EvalPanel(tx, ty, tz, ux, uy, uz, e.U[a], out, -1)
 		pairs += (hi - lo) * len(ux)
@@ -562,7 +678,7 @@ func (e *Engine) D2T() {
 func (e *Engine) d2tLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if !n.Local || n.NPoints() == 0 {
+	if !n.Local || n.NPoints() == 0 || !e.trgNode(i) {
 		return
 	}
 	L := e.Layout
@@ -597,7 +713,7 @@ func (e *Engine) ULI() {
 func (e *Engine) uliLeaf(i int32, s *evalScratch) {
 	t := e.Tree
 	n := &t.Nodes[i]
-	if len(n.U) == 0 || n.NPoints() == 0 {
+	if len(n.U) == 0 || n.NPoints() == 0 || !e.trgNode(i) {
 		return
 	}
 	L := e.Layout
@@ -607,6 +723,9 @@ func (e *Engine) uliLeaf(i int32, s *evalScratch) {
 	out := e.Potential[lo*td : hi*td]
 	var pairs int
 	for _, a := range n.U {
+		if !e.srcNode(a) {
+			continue
+		}
 		an := &t.Nodes[a]
 		slo, shi := int(an.PtLo), int(an.PtHi)
 		selfOff := -1

@@ -343,11 +343,19 @@ func (e *Engine) vliFFT(srcSel func(i int32) bool, sc []*evalScratch) {
 	hl := f.HalfLen()
 	specLen, accLen := f.SpecLen(), f.AccLen()
 
+	// Fold the asymmetric-evaluation source mask into the caller's source
+	// filter: a non-source octant's spectrum is all zeros, so dropping it is
+	// an exact skip.
+	if e.SrcSub != nil {
+		inner := srcSel
+		srcSel = func(a int32) bool { return e.SrcSub[a] && (inner == nil || inner(a)) }
+	}
+
 	// Group V-list targets by level (V interactions are same-level).
 	byLevel := make(map[int][]int32)
 	var levels []int
 	for i := range t.Nodes {
-		if !hasSelectedSource(&t.Nodes[i], srcSel) {
+		if !e.trgNode(int32(i)) || !hasSelectedSource(&t.Nodes[i], srcSel) {
 			continue
 		}
 		l := t.Nodes[i].Key.Level()

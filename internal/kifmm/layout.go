@@ -58,14 +58,43 @@ type surfOffsets struct {
 
 // NewLayout builds the streaming layout for one tree and operator set.
 func NewLayout(tree *octree.Tree, ops *Operators) *Layout {
+	l := &Layout{}
+	l.Sync(tree, ops)
+	return l
+}
+
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeF32(s []float32, n int) []float32 {
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+// Sync refreshes the layout in place from the (possibly incrementally
+// edited) tree, reusing backing arrays when capacity allows — the
+// moving-points session path, where points re-pack and octants append every
+// step. The fill order is identical to a fresh build, so a Synced layout is
+// bit-identical to NewLayout on the same tree. A layout being Synced must
+// not be shared with concurrently evaluating engines (sessions serialize
+// Step and Apply).
+func (l *Layout) Sync(tree *octree.Tree, ops *Operators) {
 	np := len(tree.Points)
 	nn := len(tree.Nodes)
-	l := &Layout{
-		PX: make([]float64, np), PY: make([]float64, np), PZ: make([]float64, np),
-		X32: make([]float32, np), Y32: make([]float32, np), Z32: make([]float32, np),
-		CX: make([]float64, nn), CY: make([]float64, nn), CZ: make([]float64, nn),
-		Half: make([]float64, nn),
-		Lev:  make([]int8, nn),
+	l.PX, l.PY, l.PZ = resizeF64(l.PX, np), resizeF64(l.PY, np), resizeF64(l.PZ, np)
+	l.X32, l.Y32, l.Z32 = resizeF32(l.X32, np), resizeF32(l.Y32, np), resizeF32(l.Z32, np)
+	l.CX, l.CY, l.CZ = resizeF64(l.CX, nn), resizeF64(l.CY, nn), resizeF64(l.CZ, nn)
+	l.Half = resizeF64(l.Half, nn)
+	if cap(l.Lev) < nn {
+		l.Lev = make([]int8, nn)
+	} else {
+		l.Lev = l.Lev[:nn]
 	}
 	for i, p := range tree.Points {
 		l.PX[i], l.PY[i], l.PZ[i] = p.X, p.Y, p.Z
@@ -83,15 +112,14 @@ func NewLayout(tree *octree.Tree, ops *Operators) *Layout {
 			maxL = lv
 		}
 	}
-	l.inner = make([]surfOffsets, maxL+1)
-	l.outer = make([]surfOffsets, maxL+1)
-	for lv := 0; lv <= maxL; lv++ {
+	// Surface offset tables only grow (levels already present are identical
+	// by construction — they depend on level and grid alone).
+	for lv := len(l.inner); lv <= maxL; lv++ {
 		// Octants at level lv have side 2^-lv (exact in float64).
 		half := math.Ldexp(1, -(lv + 1))
-		l.inner[lv] = surfaceOffsets(ops.Grid, RadInner*half)
-		l.outer[lv] = surfaceOffsets(ops.Grid, RadOuter*half)
+		l.inner = append(l.inner, surfaceOffsets(ops.Grid, RadInner*half))
+		l.outer = append(l.outer, surfaceOffsets(ops.Grid, RadOuter*half))
 	}
-	return l
 }
 
 // surfaceOffsets precomputes a surface's point offsets from the octant

@@ -1,0 +1,38 @@
+package morton
+
+// Helpers for incremental tree maintenance (moving-points sessions): the
+// O(1) "did the point leave its octant" test is ContainsPoint; the two
+// helpers here answer "which child do I descend into" during point
+// re-insertion and "is this octant near a structural change" during local
+// interaction-list patching.
+
+// ChildContaining returns the index (0..7, packed 4x+2y+z as in Child) of
+// the child octant of k containing the point. The point must lie inside k;
+// coordinates are clamped to the unit cube like FromPoint.
+func (k Key) ChildContaining(x, y, z float64) int {
+	if k.L >= MaxDepth {
+		panic("morton: finest-level octant has no children")
+	}
+	c := FromPoint(x, y, z, k.Level()+1)
+	return c.ChildIndex()
+}
+
+// BlockOverlaps reports whether octant b's region intersects the closed
+// 3×3×3 colleague block centered on octant k (k's own region inflated by
+// one k-side in every direction). This is the locality test of incremental
+// list patching: every interaction-list membership involving a changed
+// octant L or its children is confined to octants whose parents overlap the
+// block of L's parent, so nodes outside it keep their lists verbatim.
+func BlockOverlaps(k, b Key) bool {
+	ks, bs := int64(k.SideUnits()), int64(b.SideUnits())
+	kl := [3]int64{int64(k.X) - ks, int64(k.Y) - ks, int64(k.Z) - ks}
+	bl := [3]int64{int64(b.X), int64(b.Y), int64(b.Z)}
+	for d := 0; d < 3; d++ {
+		// Closed-interval overlap: touching counts, so octants adjacent to
+		// the block's boundary are still (conservatively) inside.
+		if kl[d]+3*ks < bl[d] || bl[d]+bs < kl[d] {
+			return false
+		}
+	}
+	return true
+}

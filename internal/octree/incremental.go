@@ -1,0 +1,121 @@
+package octree
+
+import (
+	"fmt"
+
+	"kifmm/internal/morton"
+)
+
+// Incremental tree edits for moving-points sessions: points migrate between
+// leaves, leaves split when they overflow and merge when their sibling set
+// underflows, and the interaction lists of the affected neighborhood are
+// rebuilt in place while the untouched rest of the tree keeps its lists
+// verbatim.
+//
+// Edits preserve the two invariants the evaluation engine relies on:
+// parent indices are always smaller than child indices (new nodes are
+// appended, never inserted), and removed nodes stay in Nodes as Dead
+// tombstones so every surviving index — including those baked into
+// interaction lists of untouched octants — remains valid. Sessions compact
+// the tombstones away by falling back to a full re-plan when they
+// accumulate.
+
+// AddChild appends child ci of parent as a new octant and returns its
+// index. The caller decides leaf-ness and point ranges. Panics if the child
+// already exists or parent is a finest-level octant.
+func (t *Tree) AddChild(parent int32, ci int) int32 {
+	p := &t.Nodes[parent]
+	if p.Dead {
+		panic("octree: AddChild on dead parent")
+	}
+	if p.Children[ci] != NoNode {
+		panic(fmt.Sprintf("octree: child %d of node %d already exists", ci, parent))
+	}
+	return t.addNode(p.Key.Child(ci), parent)
+}
+
+// Kill removes node i from the tree graph, leaving a Dead tombstone so
+// surviving node indices stay stable. The node is severed from its parent,
+// dropped from the key index, and stripped of points, lists, and children
+// links. Killing a node with live children panics (kill bottom-up).
+func (t *Tree) Kill(i int32) {
+	n := &t.Nodes[i]
+	if n.Dead {
+		return
+	}
+	for _, c := range n.Children {
+		if c != NoNode {
+			panic("octree: Kill with live children")
+		}
+	}
+	if n.Parent != NoNode {
+		t.Nodes[n.Parent].Children[n.Key.ChildIndex()] = NoNode
+	}
+	delete(t.index, n.Key)
+	n.Dead = true
+	n.IsLeaf = false
+	n.Local = false
+	n.Parent = NoNode
+	n.PtLo, n.PtHi = 0, 0
+	n.U, n.V, n.W, n.X = nil, nil, nil, nil
+}
+
+// NumDead returns the count of Dead tombstones (the bloat a session weighs
+// against a compacting re-plan).
+func (t *Tree) NumDead() int {
+	d := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Dead {
+			d++
+		}
+	}
+	return d
+}
+
+// RebuildLeaves recomputes the Leaves list after incremental edits.
+func (t *Tree) RebuildLeaves() { t.finish() }
+
+// DescendTo walks from the root to the deepest existing octant containing
+// the point and returns its index. On a compact tree this is always a leaf;
+// after incremental edits it may be an internal node whose covering child
+// was never materialized (the insertion site for a new leaf).
+func (t *Tree) DescendTo(x, y, z float64) int32 {
+	cur := int32(0)
+	for {
+		n := &t.Nodes[cur]
+		if n.IsLeaf || n.Key.Level() >= morton.MaxDepth {
+			return cur
+		}
+		c := n.Children[n.Key.ChildContaining(x, y, z)]
+		if c == NoNode {
+			return cur
+		}
+		cur = c
+	}
+}
+
+// PatchLists rebuilds the U/V/W/X lists of exactly the nodes dirty selects,
+// leaving every other node's lists untouched. Colleague sets are recomputed
+// for the whole tree (cheap, O(27·nodes)); the per-node list builders are
+// the same ones BuildLists runs, so a patched node's lists match a full
+// rebuild exactly. Correctness relies on the caller passing a dirty set
+// that covers every node whose lists could reference a changed octant —
+// morton.BlockOverlaps against the changed octants' parents is the
+// conservative test (see TestPatchListsMatchesFullRebuild).
+func (t *Tree) PatchLists(dirty func(i int32) bool) {
+	colleagues := t.colleagueSets()
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Dead || !dirty(int32(i)) {
+			continue
+		}
+		n.U, n.V, n.W, n.X = nil, nil, nil, nil
+		if n.Parent != NoNode {
+			t.buildV(int32(i), colleagues)
+			t.buildX(int32(i), colleagues)
+		}
+		if n.IsLeaf {
+			t.buildUW(int32(i), colleagues)
+		}
+	}
+}

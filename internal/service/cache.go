@@ -41,6 +41,10 @@ type PlanCache struct {
 	bytes    int64
 	lru      *list.List // front = most recently used; values are *CachedPlan
 	byID     map[string]*list.Element
+	// pins counts active pins per plan ID; pinned entries are skipped by
+	// eviction (live sessions keep their originating plan resident even when
+	// the LRU would otherwise reclaim it).
+	pins map[string]int
 
 	hits, misses, evictions int64
 }
@@ -53,6 +57,31 @@ func NewPlanCache(maxPlans int, maxBytes int64) *PlanCache {
 		maxBytes: maxBytes,
 		lru:      list.New(),
 		byID:     make(map[string]*list.Element),
+		pins:     make(map[string]int),
+	}
+}
+
+// Pin marks the plan un-evictable until a matching Unpin; pins nest. It
+// reports whether the plan was resident.
+func (c *PlanCache) Pin(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byID[id]; !ok {
+		return false
+	}
+	c.pins[id]++
+	return true
+}
+
+// Unpin releases one Pin on the plan; the entry rejoins normal LRU eviction
+// once its pin count drops to zero. Unknown or unpinned IDs are a no-op.
+func (c *PlanCache) Unpin(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.pins[id]; n > 1 {
+		c.pins[id] = n - 1
+	} else {
+		delete(c.pins, id)
 	}
 }
 
@@ -86,15 +115,22 @@ func (c *PlanCache) Put(p *CachedPlan) {
 		c.byID[p.ID] = c.lru.PushFront(p)
 		c.bytes += p.Bytes
 	}
-	for c.lru.Len() > 1 &&
+	// Evict cold unpinned entries back-to-front until within bounds. The
+	// walk visits each entry at most once, so a cache held over budget by
+	// pins alone terminates (pinned entries are never reclaimed here).
+	el := c.lru.Back()
+	for el != nil && c.lru.Len() > 1 &&
 		((c.maxPlans > 0 && c.lru.Len() > c.maxPlans) ||
 			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
-		el := c.lru.Back()
+		prev := el.Prev()
 		old := el.Value.(*CachedPlan)
-		c.lru.Remove(el)
-		delete(c.byID, old.ID)
-		c.bytes -= old.Bytes
-		c.evictions++
+		if c.pins[old.ID] == 0 {
+			c.lru.Remove(el)
+			delete(c.byID, old.ID)
+			c.bytes -= old.Bytes
+			c.evictions++
+		}
+		el = prev
 	}
 }
 

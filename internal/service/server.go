@@ -19,9 +19,10 @@ import (
 // Service-level phases accumulated into the server profile alongside the
 // engine's per-phase timings (both surface on /metrics).
 const (
-	phasePlanBuild = "PlanBuild"
-	phaseApply     = "Apply"
-	phaseQueueWait = "QueueWait"
+	phasePlanBuild   = "PlanBuild"
+	phaseApply       = "Apply"
+	phaseQueueWait   = "QueueWait"
+	phaseSessionStep = "SessionStep"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -53,6 +54,15 @@ type Config struct {
 	// local essential tree and engine state, so this bounds the per-plan
 	// memory amplification a single request can demand.
 	MaxShards int
+	// MaxSessions caps concurrent moving-points sessions; creation beyond it
+	// is rejected with 429 (default 16).
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session; every step refreshes the
+	// timer and an expired session is reclaimed by a janitor (default 10m).
+	SessionTTL time.Duration
+	// MaxBodyBytes bounds request body size; oversized bodies are rejected
+	// with 413 (default 256 MiB).
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +87,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxShards <= 0 {
 		c.MaxShards = 16
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
 	return c
 }
 
@@ -86,11 +105,16 @@ type Server struct {
 	cfg      Config
 	cache    *PlanCache
 	pool     *Pool
+	sessions *sessionRegistry
 	prof     *diag.Profile
 	traces   *traceSink
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
+
+	// Session step counters (cumulative across live and closed sessions;
+	// surfaced on /metrics).
+	sessSteps, sessMigrated, sessPatched, sessReplans atomic.Int64
 }
 
 // New builds a server with the given configuration.
@@ -114,8 +138,14 @@ func New(cfg Config) *Server {
 			s.traces = sink
 		}
 	}
+	s.sessions = newSessionRegistry(cfg.MaxSessions, cfg.SessionTTL, func(l *liveSession) {
+		s.cache.Unpin(l.planID)
+	})
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/session/{id}/step", s.handleSessionStep)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -136,6 +166,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.pool.Close()
+		s.sessions.close()
 		close(done)
 	}()
 	select {
@@ -154,6 +185,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body under the server's size cap,
+// answering 413 (not 400) when the cap is what failed the read. Reports
+// false after writing the error response.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
 }
 
 // submit runs fn on the worker pool under deadline, translating admission
@@ -249,8 +298,7 @@ func (s *Server) buildPlan(id string, pts [][3]float64, opts SolverOptions) (*Ca
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Points) == 0 {
@@ -296,8 +344,7 @@ func planResponse(e *CachedPlan, cached bool) PlanResponse {
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Densities) == 0 {
@@ -429,6 +476,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "fmmserve_traces_written_total %d\n", s.traces.Written())
 	}
 	fmt.Fprintf(w, "fmmserve_max_shards %d\n", s.cfg.MaxShards)
+	ss := s.sessions.stats()
+	fmt.Fprintf(w, "fmmserve_sessions_active %d\n", ss.Active)
+	fmt.Fprintf(w, "fmmserve_sessions_max %d\n", s.cfg.MaxSessions)
+	fmt.Fprintf(w, "fmmserve_sessions_created_total %d\n", ss.Created)
+	fmt.Fprintf(w, "fmmserve_sessions_expired_total %d\n", ss.Expired)
+	fmt.Fprintf(w, "fmmserve_sessions_deleted_total %d\n", ss.Deleted)
+	fmt.Fprintf(w, "fmmserve_session_steps_total %d\n", s.sessSteps.Load())
+	fmt.Fprintf(w, "fmmserve_session_migrated_points_total %d\n", s.sessMigrated.Load())
+	fmt.Fprintf(w, "fmmserve_session_patched_nodes_total %d\n", s.sessPatched.Load())
+	fmt.Fprintf(w, "fmmserve_session_replans_total %d\n", s.sessReplans.Load())
 	if rows := kifmm.ShardTrafficStats(); len(rows) > 0 {
 		fmt.Fprintf(w, "# TYPE fmmserve_shard_bytes_sent counter\n")
 		for _, t := range rows {

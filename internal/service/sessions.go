@@ -1,0 +1,353 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"kifmm"
+)
+
+// liveSession is one resident moving-points session: the solver-owned
+// incremental state plus registry bookkeeping. Steps serialize on the
+// session's own lock (inside kifmm.Session); the registry lock only guards
+// membership and deadlines.
+type liveSession struct {
+	id      string
+	planID  string
+	sess    *kifmm.Session
+	solver  *kifmm.FMM
+	created time.Time
+
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+func (l *liveSession) touch(ttl time.Duration, now time.Time) {
+	l.mu.Lock()
+	l.deadline = now.Add(ttl)
+	l.mu.Unlock()
+}
+
+func (l *liveSession) expired(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return now.After(l.deadline)
+}
+
+// sessionStats are the registry's cumulative counters for /metrics.
+type sessionStats struct {
+	Active  int
+	Created int64
+	Expired int64
+	Deleted int64
+}
+
+// sessionRegistry holds the server's live sessions: a capped map with TTL
+// expiry driven by a janitor goroutine. Expiring or deleting a session
+// unpins its originating plan-cache entry via the onClose hook.
+type sessionRegistry struct {
+	mu      sync.Mutex
+	byID    map[string]*liveSession
+	max     int
+	ttl     time.Duration
+	onClose func(*liveSession)
+
+	created, expired, deleted int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newSessionRegistry(max int, ttl time.Duration, onClose func(*liveSession)) *sessionRegistry {
+	r := &sessionRegistry{
+		byID:    make(map[string]*liveSession),
+		max:     max,
+		ttl:     ttl,
+		onClose: onClose,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go r.janitor()
+	return r
+}
+
+// janitor sweeps expired sessions at a fraction of the TTL so an idle
+// session outlives its deadline by at most ~TTL/4.
+func (r *sessionRegistry) janitor() {
+	defer close(r.done)
+	period := r.ttl / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.sweep(now)
+		}
+	}
+}
+
+func (r *sessionRegistry) sweep(now time.Time) {
+	r.mu.Lock()
+	var dead []*liveSession
+	for id, l := range r.byID {
+		if l.expired(now) {
+			delete(r.byID, id)
+			dead = append(dead, l)
+			r.expired++
+		}
+	}
+	r.mu.Unlock()
+	for _, l := range dead {
+		r.onClose(l)
+	}
+}
+
+// add registers the session, enforcing the capacity cap. It reports false
+// (and closes nothing) when the server is already at -max-sessions.
+func (r *sessionRegistry) add(l *liveSession, now time.Time) bool {
+	l.touch(r.ttl, now)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.max > 0 && len(r.byID) >= r.max {
+		return false
+	}
+	r.byID[l.id] = l
+	r.created++
+	return true
+}
+
+// get returns the session and refreshes its idle deadline.
+func (r *sessionRegistry) get(id string, now time.Time) (*liveSession, bool) {
+	r.mu.Lock()
+	l, ok := r.byID[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	l.touch(r.ttl, now)
+	return l, true
+}
+
+// remove deletes the session, running the close hook. It reports whether
+// the session existed.
+func (r *sessionRegistry) remove(id string) bool {
+	r.mu.Lock()
+	l, ok := r.byID[id]
+	if ok {
+		delete(r.byID, id)
+		r.deleted++
+	}
+	r.mu.Unlock()
+	if ok {
+		r.onClose(l)
+	}
+	return ok
+}
+
+// close stops the janitor and closes every live session. Safe to call more
+// than once (Shutdown may be retried with a fresh context).
+func (r *sessionRegistry) close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+	r.mu.Lock()
+	all := make([]*liveSession, 0, len(r.byID))
+	for id, l := range r.byID {
+		delete(r.byID, id)
+		all = append(all, l)
+	}
+	r.mu.Unlock()
+	for _, l := range all {
+		r.onClose(l)
+	}
+}
+
+func (r *sessionRegistry) stats() sessionStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sessionStats{
+		Active:  len(r.byID),
+		Created: r.created,
+		Expired: r.expired,
+		Deleted: r.deleted,
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "no points")
+		return
+	}
+	// Reject unsupported configurations before paying for the plan build
+	// (kifmm.NewSession would reject them after it).
+	switch {
+	case req.Options.Shards > 0:
+		writeError(w, http.StatusBadRequest, "sessions do not support sharded plans")
+		return
+	case req.Options.Accelerated:
+		writeError(w, http.StatusBadRequest, "sessions do not support accelerated evaluation")
+		return
+	case req.Options.Balanced:
+		writeError(w, http.StatusBadRequest, "sessions do not support balanced trees")
+		return
+	case len(req.Options.Targets) > 0:
+		writeError(w, http.StatusBadRequest, "sessions do not support asymmetric targets")
+		return
+	}
+	if s.sessions.stats().Active >= s.cfg.MaxSessions {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "session capacity %d reached", s.cfg.MaxSessions)
+		return
+	}
+
+	// The session's initial geometry also becomes a resident plan: stateless
+	// /v1/evaluate against the same points stays warm, and the entry is
+	// pinned so cache churn cannot evict a live session's plan.
+	planID := PlanKey(req.Points, req.Options)
+	entry, hit := s.cache.Get(planID)
+	var (
+		sess     *kifmm.Session
+		buildErr error
+	)
+	ok := s.submit(w, r, s.cfg.RequestTimeout, func() {
+		if entry == nil {
+			entry, buildErr = s.buildPlan(planID, req.Points, req.Options)
+			if buildErr != nil {
+				return
+			}
+		}
+		sess, buildErr = entry.Solver.NewSession(ToPoints(req.Points))
+	})
+	if !ok {
+		return
+	}
+	if buildErr != nil {
+		writeError(w, http.StatusBadRequest, "session: %v", buildErr)
+		return
+	}
+	if !hit {
+		s.cache.Put(entry)
+	}
+	s.cache.Pin(planID)
+	now := time.Now()
+	l := &liveSession{
+		id:      newSessionID(),
+		planID:  planID,
+		sess:    sess,
+		solver:  entry.Solver,
+		created: now,
+	}
+	if !s.sessions.add(l, now) {
+		s.cache.Unpin(planID)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "session capacity %d reached", s.cfg.MaxSessions)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{
+		SessionID:    l.id,
+		PlanID:       planID,
+		NumPoints:    sess.NumPoints(),
+		DensityDim:   entry.Solver.DensityDim(),
+		PotentialDim: entry.Solver.PotentialDim(),
+		MemoryBytes:  sess.MemoryBytes(),
+		TTLSeconds:   s.cfg.SessionTTL.Seconds(),
+	})
+}
+
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	var req SessionStepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	l, ok := s.sessions.get(r.PathValue("id"), time.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q (expired or never created)", r.PathValue("id"))
+		return
+	}
+	delta := kifmm.Delta{Remove: req.Remove}
+	if len(req.Move) > 0 {
+		delta.Move = make([]kifmm.PointMove, len(req.Move))
+		for i, m := range req.Move {
+			delta.Move[i] = kifmm.PointMove{ID: m.ID, To: kifmm.Point{X: m.To[0], Y: m.To[1], Z: m.To[2]}}
+		}
+	}
+	if len(req.Add) > 0 {
+		delta.Add = ToPoints(req.Add)
+	}
+	var (
+		info    kifmm.StepInfo
+		pots    []float64
+		stepErr error
+		elapsed time.Duration
+	)
+	ok = s.submit(w, r, s.timeout(req.TimeoutMS), func() {
+		t0 := time.Now()
+		stop := s.prof.Start(phaseSessionStep)
+		info, stepErr = l.sess.Step(delta)
+		stop()
+		if stepErr == nil && len(req.Densities) > 0 {
+			applyStop := s.prof.Start(phaseApply)
+			pots, stepErr = l.sess.Apply(req.Densities)
+			applyStop()
+		}
+		elapsed = time.Since(t0)
+	})
+	if !ok {
+		return
+	}
+	if stepErr != nil {
+		writeError(w, http.StatusBadRequest, "step: %v", stepErr)
+		return
+	}
+	s.sessSteps.Add(1)
+	s.sessMigrated.Add(int64(info.Migrated))
+	s.sessPatched.Add(int64(info.PatchedNodes))
+	if info.Replanned {
+		s.sessReplans.Add(1)
+	}
+	writeJSON(w, http.StatusOK, SessionStepResponse{
+		SessionID: l.id,
+		Info: SessionStepInfo{
+			Moved: info.Moved, Migrated: info.Migrated,
+			Added: info.Added, Removed: info.Removed, AddedIDs: info.AddedIDs,
+			Splits: info.Splits, Merges: info.Merges, PatchedNodes: info.PatchedNodes,
+			FullListRebuild: info.FullListRebuild, Replanned: info.Replanned,
+			LiveNodes: info.LiveNodes, DeadNodes: info.DeadNodes,
+		},
+		NumPoints:  l.sess.NumPoints(),
+		Potentials: pots,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// newSessionID returns a 128-bit random hex session handle.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a handle
+		// that is still unique per process lifetime.
+		panic("fmmserve: crypto/rand unavailable: " + err.Error())
+	}
+	return "sess-" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCachePinSurvivesEviction(t *testing.T) {
+	c := NewPlanCache(2, 0)
+	c.Put(entry("a", 1))
+	if !c.Pin("a") {
+		t.Fatal("pin of resident plan failed")
+	}
+	c.Put(entry("b", 1))
+	c.Put(entry("c", 1))
+	c.Put(entry("d", 1))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("pinned plan was evicted")
+	}
+	// Unpinned entries around it still churn normally.
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("cold unpinned plan b survived")
+	}
+	c.Unpin("a")
+	c.Put(entry("e", 1))
+	c.Put(entry("f", 1))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unpinned plan a should rejoin LRU eviction")
+	}
+	if c.Pin("zzz") {
+		t.Fatal("pin of absent plan should report false")
+	}
+	// Nested pins: both must be released before eviction resumes.
+	c.Put(entry("g", 1))
+	c.Pin("g")
+	c.Pin("g")
+	c.Unpin("g")
+	c.Put(entry("h", 1))
+	c.Put(entry("i", 1))
+	if _, ok := c.Get("g"); !ok {
+		t.Fatal("half-unpinned plan was evicted")
+	}
+}
+
+func TestRequestBodyLimit413(t *testing.T) {
+	s := New(Config{Workers: 1, MaxBodyBytes: 2048})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	big := strings.NewReader(`{"points":[` + strings.Repeat(`[0.1,0.2,0.3],`, 500) + `[0.1,0.2,0.3]]}`)
+	r, err := ts.Client().Post(ts.URL+"/v1/plan", "application/json", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d, want 413", r.StatusCode)
+	}
+	// A merely malformed small body stays a 400.
+	r2, err := ts.Client().Post(ts.URL+"/v1/plan", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: got %d, want 400", r2.StatusCode)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, den := testPoints(400, 5)
+	var sess SessionResponse
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/session",
+		SessionRequest{Points: pts, Options: fastOpts()}, &sess)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	if sess.SessionID == "" || sess.PlanID == "" || sess.NumPoints != 400 || sess.MemoryBytes <= 0 {
+		t.Fatalf("session response = %+v", sess)
+	}
+
+	// The session's plan is resident and pinned.
+	if _, ok := s.cache.Get(sess.PlanID); !ok {
+		t.Fatal("session plan not in cache")
+	}
+	if s.cache.pins[sess.PlanID] == 0 {
+		t.Fatal("session plan not pinned")
+	}
+
+	// Step with a small delta + densities: potentials for the stepped set.
+	var step SessionStepResponse
+	code, raw = postJSON(t, ts.Client(), ts.URL+"/v1/session/"+sess.SessionID+"/step",
+		SessionStepRequest{
+			Move:      []WireMove{{ID: 0, To: [3]float64{0.5, 0.5, 0.5}}},
+			Add:       [][3]float64{{0.25, 0.25, 0.25}},
+			Remove:    []int{1},
+			Densities: append(append([]float64(nil), den[:399]...), 1.0),
+		}, &step)
+	if code != http.StatusOK {
+		t.Fatalf("step: %d %s", code, raw)
+	}
+	if step.Info.Added != 1 || step.Info.Removed != 1 || step.NumPoints != 400 {
+		t.Fatalf("step response = %+v", step)
+	}
+	if len(step.Potentials) != 400 {
+		t.Fatalf("got %d potentials", len(step.Potentials))
+	}
+	for i, p := range step.Potentials {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("potential %d = %v", i, p)
+		}
+	}
+
+	// Bad deltas are 400s and leave the session usable.
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/session/"+sess.SessionID+"/step",
+		SessionStepRequest{Remove: []int{99999}}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad delta: got %d, want 400", code)
+	}
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/session/"+sess.SessionID+"/step",
+		SessionStepRequest{}, &step)
+	if code != http.StatusOK {
+		t.Fatalf("no-op step after failed delta: %d", code)
+	}
+
+	// Metrics reflect the session.
+	mr, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	metrics := string(raw2)
+	for _, want := range []string{
+		"fmmserve_sessions_active 1",
+		"fmmserve_sessions_created_total 1",
+		"fmmserve_session_steps_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Delete → 204, plan unpinned, later steps 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+sess.SessionID, nil)
+	dr, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", dr.StatusCode)
+	}
+	if s.cache.pins[sess.PlanID] != 0 {
+		t.Fatal("plan still pinned after delete")
+	}
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/session/"+sess.SessionID+"/step",
+		SessionStepRequest{}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("step after delete: got %d, want 404", code)
+	}
+	dr2, _ := ts.Client().Do(req)
+	dr2.Body.Close()
+	if dr2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: got %d, want 404", dr2.StatusCode)
+	}
+}
+
+func TestSessionCapacity429(t *testing.T) {
+	s := New(Config{Workers: 1, MaxSessions: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var first SessionResponse
+	for i := 0; i < 2; i++ {
+		pts, _ := testPoints(60, int64(10+i))
+		var sr SessionResponse
+		code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/session",
+			SessionRequest{Points: pts, Options: fastOpts()}, &sr)
+		if code != http.StatusOK {
+			t.Fatalf("create %d: %d %s", i, code, raw)
+		}
+		if i == 0 {
+			first = sr
+		}
+	}
+	pts, _ := testPoints(60, 20)
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/session",
+		SessionRequest{Points: pts, Options: fastOpts()}, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over capacity: got %d %s, want 429", code, raw)
+	}
+	// Deleting one frees a slot.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+first.SessionID, nil)
+	dr, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	code, raw = postJSON(t, ts.Client(), ts.URL+"/v1/session",
+		SessionRequest{Points: pts, Options: fastOpts()}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("create after delete: %d %s", code, raw)
+	}
+}
+
+func TestSessionTTLExpiry(t *testing.T) {
+	s := New(Config{Workers: 1, SessionTTL: 50 * time.Millisecond})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, _ := testPoints(60, 31)
+	var sr SessionResponse
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/session",
+		SessionRequest{Points: pts, Options: fastOpts()}, &sr)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	// Drive the sweep directly instead of waiting for the janitor tick
+	// (whose period is clamped to ≥ 1s).
+	time.Sleep(60 * time.Millisecond)
+	s.sessions.sweep(time.Now())
+	code, _ = postJSON(t, ts.Client(), ts.URL+"/v1/session/"+sr.SessionID+"/step",
+		SessionStepRequest{}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("step after TTL expiry: got %d, want 404", code)
+	}
+	if s.cache.pins[sr.PlanID] != 0 {
+		t.Fatal("plan still pinned after expiry")
+	}
+	if st := s.sessions.stats(); st.Expired != 1 || st.Active != 0 {
+		t.Fatalf("registry stats = %+v", st)
+	}
+}
+
+func TestSessionRejectsUnsupportedOptions(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	pts, _ := testPoints(60, 41)
+	bad := []SolverOptions{
+		{Kernel: "laplace", Shards: 2},
+		{Kernel: "laplace", Accelerated: true},
+		{Kernel: "laplace", Balanced: true},
+		{Kernel: "laplace", Targets: [][3]float64{{0.5, 0.5, 0.5}}},
+	}
+	for i, opt := range bad {
+		code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/session",
+			SessionRequest{Points: pts, Options: opt}, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("case %d: got %d %s, want 400", i, code, raw)
+		}
+	}
+	code, _ := postJSON(t, ts.Client(), ts.URL+"/v1/session", SessionRequest{Options: fastOpts()}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty points: got %d, want 400", code)
+	}
+}
+
+// TestEvaluateWithTargets round-trips the asymmetric-evaluation wire option.
+func TestEvaluateWithTargets(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	srcs, den := testPoints(300, 51)
+	trgs, _ := testPoints(80, 52)
+	opt := fastOpts()
+	opt.Targets = trgs
+	var er EvaluateResponse
+	code, raw := postJSON(t, ts.Client(), ts.URL+"/v1/evaluate",
+		EvaluateRequest{Points: srcs, Options: opt, Densities: den}, &er)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", code, raw)
+	}
+	if len(er.Potentials) != 80 {
+		t.Fatalf("got %d potentials, want 80 (one per target)", len(er.Potentials))
+	}
+	// Target identity must be part of the plan key.
+	opt2 := fastOpts()
+	opt2.Targets = trgs[:79]
+	if PlanKey(srcs, opt) == PlanKey(srcs, opt2) {
+		t.Fatal("target change did not change the plan key")
+	}
+}

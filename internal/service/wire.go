@@ -43,6 +43,10 @@ type SolverOptions struct {
 	// (the paper's Algorithm 3, power-of-two Shards; default) or "simple"
 	// (direct point-to-point, any shard count).
 	ShardComm string `json:"shard_comm,omitempty"`
+	// Targets, when non-empty, makes evaluation asymmetric: request points
+	// are sources only, and potentials are returned at these targets instead
+	// (kifmm.Options.Targets). Incompatible with shards and sessions.
+	Targets [][3]float64 `json:"targets,omitempty"`
 }
 
 // toExecMode maps the wire string to kifmm.ExecMode; unknown strings fall
@@ -75,6 +79,7 @@ func (o SolverOptions) ToOptions() kifmm.Options {
 		Exec:         toExecMode(o.Exec),
 		Shards:       o.Shards,
 		ShardComm:    o.ShardComm,
+		Targets:      ToPoints(o.Targets),
 	}
 }
 
@@ -121,6 +126,75 @@ type EvaluateResponse struct {
 	CacheHit bool `json:"cache_hit"`
 	// ElapsedMS is the server-side service time (queue wait excluded).
 	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// SessionRequest opens a moving-points session over an initial point set.
+type SessionRequest struct {
+	// Points are the initial unit-cube locations; they receive session point
+	// IDs 0..len(points)-1.
+	Points [][3]float64 `json:"points"`
+	// Options configure the session's solver. Shards, accelerated plans,
+	// balanced trees, and targets are not supported for sessions.
+	Options SolverOptions `json:"options"`
+}
+
+// SessionResponse identifies the created session.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	// PlanID is the plan-cache entry built for the session's initial
+	// geometry; it stays pinned (un-evictable) while the session is alive.
+	PlanID       string `json:"plan_id"`
+	NumPoints    int    `json:"num_points"`
+	DensityDim   int    `json:"density_dim"`
+	PotentialDim int    `json:"potential_dim"`
+	MemoryBytes  int64  `json:"memory_bytes"`
+	// TTLSeconds is the idle lifetime; each step resets the timer.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// WireMove relocates one live session point.
+type WireMove struct {
+	ID int        `json:"id"`
+	To [3]float64 `json:"to"`
+}
+
+// SessionStepRequest advances a session by one delta and, when Densities is
+// non-empty, evaluates the stepped ensemble in the same request.
+type SessionStepRequest struct {
+	Move   []WireMove   `json:"move,omitempty"`
+	Add    [][3]float64 `json:"add,omitempty"`
+	Remove []int        `json:"remove,omitempty"`
+	// Densities, when non-empty, are applied after the delta (DensityDim
+	// values per live point, ascending ID order).
+	Densities []float64 `json:"densities,omitempty"`
+	// TimeoutMS optionally tightens the server's per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SessionStepInfo is the wire form of kifmm.StepInfo.
+type SessionStepInfo struct {
+	Moved           int   `json:"moved"`
+	Migrated        int   `json:"migrated"`
+	Added           int   `json:"added"`
+	Removed         int   `json:"removed"`
+	AddedIDs        []int `json:"added_ids,omitempty"`
+	Splits          int   `json:"splits"`
+	Merges          int   `json:"merges"`
+	PatchedNodes    int   `json:"patched_nodes"`
+	FullListRebuild bool  `json:"full_list_rebuild"`
+	Replanned       bool  `json:"replanned"`
+	LiveNodes       int   `json:"live_nodes"`
+	DeadNodes       int   `json:"dead_nodes"`
+}
+
+// SessionStepResponse reports what the step did and, when densities were
+// supplied, the potentials of the stepped ensemble.
+type SessionStepResponse struct {
+	SessionID  string          `json:"session_id"`
+	Info       SessionStepInfo `json:"info"`
+	NumPoints  int             `json:"num_points"`
+	Potentials []float64       `json:"potentials,omitempty"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.
@@ -174,6 +248,14 @@ func PlanKey(points [][3]float64, o SolverOptions) string {
 	wi(int64(o.Shards))
 	h.Write([]byte(o.ShardComm))
 	h.Write([]byte{0})
+	// Target geometry is part of plan identity: the same sources evaluated
+	// at different target sets are distinct plans (distinct union trees).
+	wi(int64(len(o.Targets)))
+	for _, p := range o.Targets {
+		wf(p[0])
+		wf(p[1])
+		wf(p[2])
+	}
 	wi(int64(len(points)))
 	for _, p := range points {
 		wf(p[0])

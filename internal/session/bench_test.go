@@ -1,0 +1,120 @@
+package session_test
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"kifmm"
+	"kifmm/internal/geom"
+)
+
+// BenchmarkSessionStep measures the incremental path the sessions subsystem
+// exists for: advancing a 100k-point ensemble by a delta that migrates
+// 0.1%/1%/10% of the points, against the stateless alternative a client
+// without sessions pays per timestep.
+//
+//   - migrate-*: Session.Step alone (tree update, list patching, repack,
+//     engine sync) — the per-step overhead on top of Apply.
+//   - step+apply-1pct: Step followed by Apply, the full per-timestep cost of
+//     a session client.
+//   - replan-new-plan-apply: New + Plan + Apply, the per-timestep cost of a
+//     stateless client against a cold server (operators rebuilt).
+//   - replan-plan-apply: Plan + Apply with a warm solver (operators cached),
+//     the stateless floor.
+func BenchmarkSessionStep(b *testing.B) {
+	const n = 100_000
+	mkPts := func() []kifmm.Point {
+		gp := geom.Generate(geom.Uniform, n, 1)
+		pts := make([]kifmm.Point, n)
+		for i, p := range gp {
+			pts[i] = kifmm.Point{X: p.X, Y: p.Y, Z: p.Z}
+		}
+		return pts
+	}
+	opts := kifmm.Options{Workers: runtime.GOMAXPROCS(0)}
+	den := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range den {
+		den[i] = rng.NormFloat64()
+	}
+
+	for _, tc := range []struct {
+		name  string
+		nMove int
+		apply bool
+	}{
+		{"migrate-0.1pct", n / 1000, false},
+		{"migrate-1pct", n / 100, false},
+		{"migrate-10pct", n / 10, false},
+		{"step+apply-1pct", n / 100, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			f, err := kifmm.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := f.NewSession(mkPts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids := s.IDs()
+			rng := rand.New(rand.NewSource(3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				d := kifmm.Delta{Move: make([]kifmm.PointMove, tc.nMove)}
+				for j := range d.Move {
+					d.Move[j] = kifmm.PointMove{
+						ID: ids[rng.Intn(len(ids))],
+						To: kifmm.Point{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64()},
+					}
+				}
+				b.StartTimer()
+				if _, err := s.Step(d); err != nil {
+					b.Fatal(err)
+				}
+				if tc.apply {
+					if _, err := s.Apply(den); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+
+	b.Run("replan-new-plan-apply", func(b *testing.B) {
+		pts := mkPts()
+		for i := 0; i < b.N; i++ {
+			f, err := kifmm.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := f.Plan(pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Apply(den); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("replan-plan-apply", func(b *testing.B) {
+		f, err := kifmm.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := mkPts()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := f.Plan(pts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Apply(den); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -33,6 +33,10 @@ type Plan struct {
 	// shared read-only by every engine this plan checks out.
 	layout *ikifmm.Layout
 	n      int
+	// nTrg > 0 marks an asymmetric plan (Options.Targets): the tree holds
+	// the union with targets first, Apply takes densities for the n sources
+	// and returns potentials for the nTrg targets.
+	nTrg int
 	// shard, when non-nil, makes Apply run the coordinated multi-rank
 	// evaluation over Options.Shards local essential trees instead of the
 	// single-engine phase sequence (Options.Shards > 0).
@@ -55,6 +59,16 @@ const maxFreeEngines = 8
 func (f *FMM) Plan(points []Point) (*Plan, error) {
 	if err := f.checkPoints(points); err != nil {
 		return nil, err
+	}
+	nTrg := len(f.opt.Targets)
+	if nTrg > 0 {
+		// Asymmetric plan: the tree spans targets and sources, targets
+		// first, so original indices < nTrg are targets (SetSplitRoles'
+		// convention).
+		union := make([]Point, 0, nTrg+len(points))
+		union = append(union, f.opt.Targets...)
+		union = append(union, points...)
+		points = union
 	}
 	gpts := toGeom(points)
 	var tree *octree.Tree
@@ -109,7 +123,7 @@ func (f *FMM) Plan(points []Point) (*Plan, error) {
 		}
 		return &Plan{f: f, tree: tree, n: len(points), shard: sp}, nil
 	}
-	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops), n: len(points)}, nil
+	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops), n: len(points) - nTrg, nTrg: nTrg}, nil
 }
 
 // TranslationCacheStats is a snapshot of the process-wide V-list
@@ -138,8 +152,13 @@ func ShardTrafficStats() []ShardTraffic {
 	return shard.Metrics.Rows()
 }
 
-// NumPoints returns the number of points the plan was built for.
+// NumPoints returns the number of source points the plan was built for
+// (which is every point of a symmetric plan).
 func (p *Plan) NumPoints() int { return p.n }
+
+// NumTargets returns the target count of an asymmetric plan
+// (Options.Targets), 0 for symmetric plans.
+func (p *Plan) NumTargets() int { return p.nTrg }
 
 // Evaluations returns how many Apply calls have completed.
 func (p *Plan) Evaluations() int64 { return p.evals.Load() }
@@ -217,6 +236,7 @@ func (p *Plan) getEngine() *ikifmm.Engine {
 		eng.UseFFTM2L = !p.f.opt.DenseM2L
 		eng.Workers = p.f.opt.Workers
 		eng.VBlock = p.f.opt.VListBlock
+		eng.SetSplitRoles(p.nTrg)
 	} else {
 		eng.Reset()
 	}
@@ -295,7 +315,7 @@ func (p *Plan) apply(densities []float64, trace *sched.Trace) ([]float64, sched.
 			len(densities), p.n, p.f.kern.SrcDim())
 	}
 	eng := p.getEngine()
-	eng.SetPointDensities(densities)
+	eng.SetDensitiesMasked(densities, p.nTrg)
 	var stats sched.Stats
 	switch {
 	case p.f.opt.Accelerated:
@@ -327,6 +347,10 @@ func (p *Plan) apply(densities []float64, trace *sched.Trace) ([]float64, sched.
 		eng.Evaluate()
 	}
 	out := eng.PointPotentials()
+	if p.nTrg > 0 {
+		// The union's leading original indices are the targets.
+		out = out[:p.nTrg*p.f.kern.TrgDim()]
+	}
 	p.putEngine(eng)
 	p.evals.Add(1)
 	return out, stats, nil

@@ -1,0 +1,197 @@
+package kifmm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTargetsMatchesMaskedOracle checks the asymmetric-evaluation contract:
+// a plan with Options.Targets must produce exactly what the symmetric
+// zero-density-target trick (EvaluateAt) produces — the masks only ever
+// skip terms that are exactly zero.
+func TestTargetsMatchesMaskedOracle(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"fft", Options{PointsPerBox: 30}},
+		{"dense", Options{PointsPerBox: 30, DenseM2L: true}},
+		{"dag", Options{PointsPerBox: 30, Workers: 4, Exec: ExecDAG}},
+		{"stokes", Options{Kernel: Stokes, PointsPerBox: 30}},
+	}
+	srcs, _ := randInput(600, 1, 51)
+	trgs, _ := randInput(180, 1, 52)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt
+			opt.Targets = trgs
+			f, err := New(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			den := make([]float64, 600*f.DensityDim())
+			rng := rand.New(rand.NewSource(53))
+			for i := range den {
+				den[i] = rng.NormFloat64()
+			}
+			p, err := f.Plan(srcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumPoints() != 600 || p.NumTargets() != 180 {
+				t.Fatalf("plan counts: %d sources, %d targets", p.NumPoints(), p.NumTargets())
+			}
+			got, err := p.Apply(den)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 180*f.PotentialDim() {
+				t.Fatalf("output length %d", len(got))
+			}
+			oracle, err := New(tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.EvaluateAt(trgs, srcs, den)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("asymmetric eval diverges from masked oracle at %d: %v vs %v",
+						i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTargetsValidation(t *testing.T) {
+	if _, err := New(Options{Targets: []Point{{2, 0, 0}}}); err == nil {
+		t.Fatal("out-of-cube target accepted")
+	}
+	if _, err := New(Options{Targets: []Point{{0.5, 0.5, 0.5}}, Shards: 2}); err == nil {
+		t.Fatal("Targets with Shards accepted")
+	}
+	if _, err := New(Options{Targets: []Point{{0.5, 0.5, 0.5}}, Accelerated: true}); err == nil {
+		t.Fatal("Targets with Accelerated accepted")
+	}
+}
+
+// TestVListBlockNegativeError checks the dedicated validation error for
+// negative VListBlock (satellite of the sessions issue).
+func TestVListBlockNegativeError(t *testing.T) {
+	_, err := New(Options{VListBlock: -3})
+	if err == nil {
+		t.Fatal("negative VListBlock accepted")
+	}
+	if !strings.Contains(err.Error(), "VListBlock") || !strings.Contains(err.Error(), "-3") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "8 MiB") {
+		t.Fatalf("error should mention the budget-derived default: %v", err)
+	}
+}
+
+// TestSessionMatchesEvaluate drives the public session API and checks each
+// step's Apply against a stateless Evaluate over the session's point set.
+func TestSessionMatchesEvaluate(t *testing.T) {
+	f, err := New(Options{PointsPerBox: 25, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, den := randInput(500, 1, 61)
+	s, err := f.NewSession(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	cur := append([]Point(nil), pts...) // by ID
+	for step := 0; step < 3; step++ {
+		var d Delta
+		ids := s.IDs()
+		for _, id := range ids[:len(ids)/4] {
+			to := Point{rng.Float64(), rng.Float64(), rng.Float64()}
+			d.Move = append(d.Move, PointMove{ID: id, To: to})
+		}
+		for i := 0; i < 8; i++ {
+			d.Add = append(d.Add, Point{rng.Float64(), rng.Float64(), rng.Float64()})
+		}
+		d.Remove = append(d.Remove, ids[len(ids)-1], ids[len(ids)-3])
+		info, err := s.Step(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Added != 8 || len(info.AddedIDs) != 8 || info.Removed != 2 {
+			t.Fatalf("step info %+v", info)
+		}
+		for _, mv := range d.Move {
+			cur[mv.ID] = mv.To
+		}
+		for i, id := range info.AddedIDs {
+			for id >= len(cur) {
+				cur = append(cur, Point{})
+			}
+			cur[id] = d.Add[i]
+		}
+		alive := make(map[int]bool)
+		for _, id := range s.IDs() {
+			alive[id] = true
+		}
+		var live []Point
+		for id := 0; id < len(cur); id++ {
+			if alive[id] {
+				live = append(live, cur[id])
+			}
+		}
+		if len(live) != s.NumPoints() {
+			t.Fatalf("bookkeeping drift: %d vs %d", len(live), s.NumPoints())
+		}
+		den = den[:0]
+		for range live {
+			den = append(den, rng.NormFloat64())
+		}
+		got, err := s.Apply(den)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.Evaluate(live, den)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := relErr(got, want); e > 1e-9 {
+			t.Fatalf("step %d: session vs Evaluate rel err %g", step, e)
+		}
+	}
+	st := s.Stats()
+	if st.Steps != 3 || st.Evals != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes should be positive")
+	}
+}
+
+func TestNewSessionRejections(t *testing.T) {
+	pts, _ := randInput(50, 1, 71)
+	bad := []Options{
+		{Shards: 2},
+		{Accelerated: true},
+		{Balanced: true},
+		{Targets: []Point{{0.5, 0.5, 0.5}}},
+	}
+	for i, opt := range bad {
+		f, err := New(opt)
+		if err != nil {
+			t.Fatalf("case %d: New: %v", i, err)
+		}
+		if _, err := f.NewSession(pts); err == nil {
+			t.Fatalf("case %d: NewSession accepted unsupported options", i)
+		}
+	}
+	f, _ := New(Options{})
+	if _, err := f.NewSession([]Point{{-1, 0, 0}}); err == nil {
+		t.Fatal("out-of-cube session point accepted")
+	}
+}
