@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-nearfield bench-json bench-shard bench-session bench-smoke sched-stress shard-stress session-stress lint ci
+.PHONY: build vet test race bench bench-nearfield bench-nearfield-json bench-json bench-shard bench-session bench-smoke sched-stress shard-stress session-stress lint ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ bench:
 # (BenchmarkNearField{ULI,D2T,WLI} × {laplace,stokes,yukawa}).
 bench-nearfield:
 	$(GO) test ./internal/kifmm/ -run='^$$' -bench=BenchmarkNearField -benchmem
+
+# Near-field phase comparison (float64 panels vs float32 panels vs the
+# pre-panel pairwise bodies, ULI/D2T/WLI × laplace/stokes/yukawa, plus
+# layout construction gated vs mirrors), written as machine-readable JSON
+# for EXPERIMENTS.md and CI artifacts. The float32/float64 ULI ratio is the
+# mixed-precision acceptance number (DESIGN.md §7.8).
+bench-nearfield-json:
+	$(GO) run ./cmd/benchjson -pkg ./internal/kifmm/ -bench 'BenchmarkNearField|BenchmarkLayoutBuild' -benchtime 3x -o BENCH_nearfield.json
 
 # V-list phase comparison (fft vs fft-legacy vs dense) on the 30k ellipsoid
 # tree, written as machine-readable JSON (ns/op, B/op, allocs/op per

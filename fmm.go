@@ -60,6 +60,43 @@ const (
 	ExecDAG
 )
 
+// Precision selects the arithmetic precision of the near-field phases
+// (U-list direct sums, W/X-list surface interactions, downward-to-target
+// evaluation). The far field — upward densities, translations, downward
+// solves — always runs in float64: its accuracy bounds the whole method's.
+type Precision int
+
+const (
+	// PrecisionAuto (the default) picks float32 when the plan is already
+	// committed to single-precision arithmetic (Accelerated plans, whose
+	// streaming device computes in float32 per the paper) and float64
+	// otherwise — the default CPU path is bit-identical to an explicit
+	// PrecisionFloat64.
+	PrecisionAuto Precision = iota
+	// PrecisionFloat64 forces double-precision near-field arithmetic.
+	PrecisionFloat64
+	// PrecisionFloat32 evaluates every near-field pair interaction in
+	// single precision (the paper's GPU precision) with float64
+	// accumulation per target. The per-pair round-off (~1e-7 relative)
+	// sits below the FMM's own check-surface truncation error at the
+	// default order, so accuracy is budget-neutral while the SIMD-shaped
+	// float32 panels run substantially faster.
+	PrecisionFloat32
+)
+
+// String returns the wire name of the precision ("auto", "float64",
+// "float32").
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFloat64:
+		return "float64"
+	case PrecisionFloat32:
+		return "float32"
+	default:
+		return "auto"
+	}
+}
+
 const (
 	// Laplace is the single-layer Laplace kernel 1/(4π‖x−y‖): one density
 	// and one potential component per point (electrostatics, gravitation).
@@ -143,6 +180,10 @@ type Options struct {
 	// while skipping its wasted work. Incompatible with Shards and
 	// Accelerated.
 	Targets []Point
+	// Precision selects the near-field arithmetic precision (see the
+	// Precision type). The default PrecisionAuto keeps the CPU path in
+	// float64.
+	Precision Precision
 }
 
 func (o Options) kernel() (kernel.Kernel, error) {
@@ -202,6 +243,9 @@ func New(opt Options) (*FMM, error) {
 	if opt.Exec < ExecAuto || opt.Exec > ExecDAG {
 		return nil, fmt.Errorf("kifmm: invalid exec mode %d", opt.Exec)
 	}
+	if opt.Precision < PrecisionAuto || opt.Precision > PrecisionFloat32 {
+		return nil, fmt.Errorf("kifmm: invalid precision %d", opt.Precision)
+	}
 	k, err := opt.kernel()
 	if err != nil {
 		return nil, err
@@ -260,6 +304,28 @@ func (f *FMM) Accelerated() bool { return f.opt.Accelerated }
 // Exec returns the configured execution strategy for the density-dependent
 // phases.
 func (f *FMM) Exec() ExecMode { return f.opt.Exec }
+
+// Precision returns the resolved near-field precision: PrecisionAuto maps
+// to PrecisionFloat32 on Accelerated solvers (the streaming device already
+// computes in single precision) and PrecisionFloat64 otherwise, so the
+// return value is always one of the two concrete precisions.
+func (f *FMM) Precision() Precision {
+	switch f.opt.Precision {
+	case PrecisionFloat32:
+		return PrecisionFloat32
+	case PrecisionFloat64:
+		return PrecisionFloat64
+	default:
+		if f.opt.Accelerated {
+			return PrecisionFloat32
+		}
+		return PrecisionFloat64
+	}
+}
+
+// float32Near reports whether this solver's near-field phase bodies run in
+// single precision.
+func (f *FMM) float32Near() bool { return f.Precision() == PrecisionFloat32 }
 
 func (f *FMM) checkPoints(points []Point) error {
 	if len(points) == 0 {
@@ -333,6 +399,7 @@ func (f *FMM) EvaluateDistributed(ranks int, points []Point, densities []float64
 		Workers:     f.opt.Workers,
 		LoadBalance: !f.opt.NoLoadBalance,
 		Ops:         f.ops,
+		Float32Near: f.float32Near(),
 	}
 	gpts := toGeom(points)
 	results := make([]*parfmm.Result, ranks)

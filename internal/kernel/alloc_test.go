@@ -31,3 +31,32 @@ func TestEvalPanelAllocFree(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalPanel32AllocFree pins the same zero-allocation property for the
+// single-precision panel path: the float32 near field runs once per leaf
+// per Apply, so a stray allocation here would multiply across the whole
+// U/W/X traversal.
+func TestEvalPanel32AllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const nt, ns = 64, 48
+	tx, ty, tz, _, _, _ := randPanel32(rng, nt)
+	sx, sy, sz, _, _, _ := randPanel32(rng, ns)
+	for _, k := range batchKernels() {
+		bk, ok := AsBatch32(k)
+		if !ok {
+			t.Fatalf("%s: no Batch32", k.Name())
+		}
+		den := make([]float32, ns*k.SrcDim())
+		out := make([]float64, nt*k.TrgDim())
+		for i := range den {
+			den[i] = float32(rng.NormFloat64())
+		}
+		bk.EvalPanel32(tx, ty, tz, sx, sy, sz, den, out, -1) // warm
+		allocs := testing.AllocsPerRun(20, func() {
+			bk.EvalPanel32(tx, ty, tz, sx, sy, sz, den, out, -1)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: EvalPanel32 allocates %.1f times per call, want 0", k.Name(), allocs)
+		}
+	}
+}

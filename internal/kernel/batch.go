@@ -84,11 +84,12 @@ func nanZero(x float64) float64 {
 // EvalPanel implements Batch with the kernel constant hoisted out of the
 // pair loop and the Algorithm 4 guard in place of Eval's branch. The
 // reslicings assert the panel lengths once so the compiler drops the
-// per-pair bounds checks, and targets are register-blocked in pairs: each
-// source load feeds two independent sqrt/divide chains, which halves the
-// source memory traffic and overlaps the divider latency. Each target's
-// partial sum still accumulates in ascending source order, so blocking does
-// not change a single bit of the result.
+// per-pair bounds checks, and targets are register-blocked four wide with a
+// two-wide and then scalar tail: each source load feeds four independent
+// sqrt/divide chains, which quarters the source memory traffic and overlaps
+// the divider latency. Each target's partial sum still accumulates in
+// ascending source order, so blocking does not change a single bit of the
+// result.
 //
 //fmm:hotpath
 func (Laplace) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ int) {
@@ -97,18 +98,40 @@ func (Laplace) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _
 	nt := len(tx)
 	ty, tz, out = ty[:nt], tz[:nt], out[:nt]
 	i := 0
+	for ; i+3 < nt; i += 4 {
+		x0, y0, z0 := tx[i], ty[i], tz[i]
+		x1, y1, z1 := tx[i+1], ty[i+1], tz[i+1]
+		x2, y2, z2 := tx[i+2], ty[i+2], tz[i+2]
+		x3, y3, z3 := tx[i+3], ty[i+3], tz[i+3]
+		var a0, a1, a2, a3 float64
+		for j := range sx {
+			xs, ys, zs, d := sx[j], sy[j], sz[j], den[j]
+			dx0, dy0, dz0 := x0-xs, y0-ys, z0-zs
+			dx1, dy1, dz1 := x1-xs, y1-ys, z1-zs
+			dx2, dy2, dz2 := x2-xs, y2-ys, z2-zs
+			dx3, dy3, dz3 := x3-xs, y3-ys, z3-zs
+			r0 := dx0*dx0 + dy0*dy0 + dz0*dz0
+			r1 := dx1*dx1 + dy1*dy1 + dz1*dz1
+			r2 := dx2*dx2 + dy2*dy2 + dz2*dz2
+			r3 := dx3*dx3 + dy3*dy3 + dz3*dz3
+			a0 += nanZero(invFourPi/math.Sqrt(r0)) * d
+			a1 += nanZero(invFourPi/math.Sqrt(r1)) * d
+			a2 += nanZero(invFourPi/math.Sqrt(r2)) * d
+			a3 += nanZero(invFourPi/math.Sqrt(r3)) * d
+		}
+		out[i] += a0
+		out[i+1] += a1
+		out[i+2] += a2
+		out[i+3] += a3
+	}
 	for ; i+1 < nt; i += 2 {
 		x0, y0, z0 := tx[i], ty[i], tz[i]
 		x1, y1, z1 := tx[i+1], ty[i+1], tz[i+1]
 		var a0, a1 float64
 		for j := range sx {
 			xs, ys, zs, d := sx[j], sy[j], sz[j], den[j]
-			dx0 := x0 - xs
-			dy0 := y0 - ys
-			dz0 := z0 - zs
-			dx1 := x1 - xs
-			dy1 := y1 - ys
-			dz1 := z1 - zs
+			dx0, dy0, dz0 := x0-xs, y0-ys, z0-zs
+			dx1, dy1, dz1 := x1-xs, y1-ys, z1-zs
 			r0 := dx0*dx0 + dy0*dy0 + dz0*dz0
 			r1 := dx1*dx1 + dy1*dy1 + dz1*dz1
 			a0 += nanZero(invFourPi/math.Sqrt(r0)) * d
@@ -133,7 +156,9 @@ func (Laplace) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _
 
 // EvalPanel implements Batch. The per-pair arithmetic matches Eval term for
 // term (same operation order), so non-singular pairs are bit-identical to
-// the pairwise path.
+// the pairwise path. Targets are blocked in pairs — the three-component
+// Stokeslet already carries six live accumulators per pair, so wider
+// blocking would spill registers.
 //
 //fmm:hotpath
 func (Stokes) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ int) {
@@ -141,7 +166,39 @@ func (Stokes) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ 
 	sy, sz, den = sy[:ns], sz[:ns], den[:3*ns]
 	nt := len(tx)
 	ty, tz, out = ty[:nt], tz[:nt], out[:3*nt]
-	for i := range tx {
+	i := 0
+	for ; i+1 < nt; i += 2 {
+		x0, y0, z0 := tx[i], ty[i], tz[i]
+		x1, y1, z1 := tx[i+1], ty[i+1], tz[i+1]
+		var a0, a1, a2, b0, b1, b2 float64
+		for j := range sx {
+			xs, ys, zs := sx[j], sy[j], sz[j]
+			d0, d1, d2 := den[3*j], den[3*j+1], den[3*j+2]
+			dx0, dy0, dz0 := x0-xs, y0-ys, z0-zs
+			dx1, dy1, dz1 := x1-xs, y1-ys, z1-zs
+			r20 := dx0*dx0 + dy0*dy0 + dz0*dz0
+			r21 := dx1*dx1 + dy1*dy1 + dz1*dz1
+			invR0 := nanZero(1 / math.Sqrt(r20))
+			invR1 := nanZero(1 / math.Sqrt(r21))
+			invR30 := nanZero(invR0 / r20)
+			invR31 := nanZero(invR1 / r21)
+			dot0 := dx0*d0 + dy0*d1 + dz0*d2
+			dot1 := dx1*d0 + dy1*d1 + dz1*d2
+			a0 += invEightPi * (d0*invR0 + dx0*dot0*invR30)
+			a1 += invEightPi * (d1*invR0 + dy0*dot0*invR30)
+			a2 += invEightPi * (d2*invR0 + dz0*dot0*invR30)
+			b0 += invEightPi * (d0*invR1 + dx1*dot1*invR31)
+			b1 += invEightPi * (d1*invR1 + dy1*dot1*invR31)
+			b2 += invEightPi * (d2*invR1 + dz1*dot1*invR31)
+		}
+		out[3*i] += a0
+		out[3*i+1] += a1
+		out[3*i+2] += a2
+		out[3*i+3] += b0
+		out[3*i+4] += b1
+		out[3*i+5] += b2
+	}
+	for ; i < nt; i++ {
 		x, y, z := tx[i], ty[i], tz[i]
 		var a0, a1, a2 float64
 		for j := range sx {
@@ -163,7 +220,9 @@ func (Stokes) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ 
 	}
 }
 
-// EvalPanel implements Batch.
+// EvalPanel implements Batch. Four-wide target blocking: the exp call per
+// pair dominates, and four independent chains let the sqrt/divide work of
+// the neighbouring lanes proceed under its latency.
 //
 //fmm:hotpath
 func (y Yukawa) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, _ int) {
@@ -172,7 +231,34 @@ func (y Yukawa) EvalPanel(tx, ty, tz, sx, sy, sz []float64, den, out []float64, 
 	sy, sz, den = sy[:ns], sz[:ns], den[:ns]
 	nt := len(tx)
 	ty, tz, out = ty[:nt], tz[:nt], out[:nt]
-	for i := range tx {
+	i := 0
+	for ; i+3 < nt; i += 4 {
+		x0, y0, z0 := tx[i], ty[i], tz[i]
+		x1, y1, z1 := tx[i+1], ty[i+1], tz[i+1]
+		x2, y2, z2 := tx[i+2], ty[i+2], tz[i+2]
+		x3, y3, z3 := tx[i+3], ty[i+3], tz[i+3]
+		var a0, a1, a2, a3 float64
+		for j := range sx {
+			xs, ys, zs, d := sx[j], sy[j], sz[j], den[j]
+			dx0, dy0, dz0 := x0-xs, y0-ys, z0-zs
+			dx1, dy1, dz1 := x1-xs, y1-ys, z1-zs
+			dx2, dy2, dz2 := x2-xs, y2-ys, z2-zs
+			dx3, dy3, dz3 := x3-xs, y3-ys, z3-zs
+			r0 := math.Sqrt(dx0*dx0 + dy0*dy0 + dz0*dz0)
+			r1 := math.Sqrt(dx1*dx1 + dy1*dy1 + dz1*dz1)
+			r2 := math.Sqrt(dx2*dx2 + dy2*dy2 + dz2*dz2)
+			r3 := math.Sqrt(dx3*dx3 + dy3*dy3 + dz3*dz3)
+			a0 += nanZero(invFourPi*math.Exp(-lam*r0)/r0) * d
+			a1 += nanZero(invFourPi*math.Exp(-lam*r1)/r1) * d
+			a2 += nanZero(invFourPi*math.Exp(-lam*r2)/r2) * d
+			a3 += nanZero(invFourPi*math.Exp(-lam*r3)/r3) * d
+		}
+		out[i] += a0
+		out[i+1] += a1
+		out[i+2] += a2
+		out[i+3] += a3
+	}
+	for ; i < nt; i++ {
 		px, py, pz := tx[i], ty[i], tz[i]
 		var acc float64
 		for j := range sx {

@@ -1,0 +1,229 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randPanel32 draws n points in the unit cube as float32 SoA panels along
+// with their exact float64 images (unit-interval float32 values round-trip
+// to float64 exactly, so the two precisions see the same geometry).
+func randPanel32(rng *rand.Rand, n int) (x32, y32, z32 []float32, x, y, z []float64) {
+	x32 = make([]float32, n)
+	y32 = make([]float32, n)
+	z32 = make([]float32, n)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	z = make([]float64, n)
+	for i := range x {
+		x32[i] = float32(rng.Float64())
+		y32[i] = float32(rng.Float64())
+		z32[i] = float32(rng.Float64())
+		x[i], y[i], z[i] = float64(x32[i]), float64(y32[i]), float64(z32[i])
+	}
+	return
+}
+
+// TestAsBatch32Native checks that every built-in kernel carries a native
+// float32 panel form, and that a plain Kernel reports no capability instead
+// of getting a fallback.
+func TestAsBatch32Native(t *testing.T) {
+	for _, k := range batchKernels() {
+		if _, ok := AsBatch32(k); !ok {
+			t.Errorf("%s: no Batch32 implementation", k.Name())
+		}
+	}
+	if _, ok := AsBatch32(evalOnly{Laplace{}}); ok {
+		t.Errorf("AsBatch32 of a plain Kernel should report ok=false")
+	}
+}
+
+// TestEvalPanel32MatchesFloat64 is the core mixed-precision property: on
+// identical geometry (float32 coordinates, seen exactly by both paths),
+// EvalPanel32 agrees with the float64 EvalPanel oracle to a few float32
+// ulps per pair — including panels with planted coincident pairs, every
+// target-count tail (8/4/2/scalar), and regardless of the selfOffset hint.
+func TestEvalPanel32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range batchKernels() {
+		b := AsBatch(k)
+		b32, ok := AsBatch32(k)
+		if !ok {
+			t.Fatalf("%s: no Batch32", k.Name())
+		}
+		sd, td := k.SrcDim(), k.TrgDim()
+		for nt := 0; nt <= 19; nt++ {
+			for _, ns := range []int{0, 1, 7, 33} {
+				tx32, ty32, tz32, tx, ty, tz := randPanel32(rng, nt)
+				sx32, sy32, sz32, sx, sy, sz := randPanel32(rng, ns)
+				for c := 0; c < 3 && c < nt && c < ns; c++ {
+					i, j := rng.Intn(nt), rng.Intn(ns)
+					sx32[j], sy32[j], sz32[j] = tx32[i], ty32[i], tz32[i]
+					sx[j], sy[j], sz[j] = tx[i], ty[i], tz[i]
+				}
+				den32 := make([]float32, ns*sd)
+				den := make([]float64, ns*sd)
+				for i := range den {
+					den32[i] = float32(rng.NormFloat64())
+					den[i] = float64(den32[i])
+				}
+				want := make([]float64, nt*td)
+				b.EvalPanel(tx, ty, tz, sx, sy, sz, den, want, 0)
+				got := make([]float64, nt*td)
+				b32.EvalPanel32(tx32, ty32, tz32, sx32, sy32, sz32, den32, got, -1)
+				var scale float64
+				for _, w := range want {
+					scale = math.Max(scale, math.Abs(w))
+				}
+				tol := 1e-5 * math.Max(scale, 1) * float64(ns+1)
+				for i := range want {
+					if d := math.Abs(got[i] - want[i]); d > tol {
+						t.Fatalf("%s nt=%d ns=%d out[%d]: float32 %v vs float64 %v (|Δ|=%g > %g)",
+							k.Name(), nt, ns, i, got[i], want[i], d, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPanel32SelfPanel checks the Algorithm 4 guard in float32: a panel
+// evaluated against itself must silently drop the i==j singular pairs and
+// agree with the float64 self-panel result.
+func TestEvalPanel32SelfPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range batchKernels() {
+		b := AsBatch(k)
+		b32, _ := AsBatch32(k)
+		sd, td := k.SrcDim(), k.TrgDim()
+		const n = 23
+		x32, y32, z32, x, y, z := randPanel32(rng, n)
+		den32 := make([]float32, n*sd)
+		den := make([]float64, n*sd)
+		for i := range den {
+			den32[i] = float32(rng.NormFloat64())
+			den[i] = float64(den32[i])
+		}
+		want := make([]float64, n*td)
+		b.EvalPanel(x, y, z, x, y, z, den, want, 0)
+		got := make([]float64, n*td)
+		b32.EvalPanel32(x32, y32, z32, x32, y32, z32, den32, got, 0)
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-4*(math.Abs(want[i])+1) {
+				t.Fatalf("%s self-panel out[%d]: float32 %v vs float64 %v", k.Name(), i, got[i], want[i])
+			}
+			if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+				t.Fatalf("%s self-panel out[%d] = %v: singular pair leaked", k.Name(), i, got[i])
+			}
+		}
+	}
+}
+
+// TestEvalPanel32Accumulates checks that EvalPanel32 adds into out rather
+// than overwriting it.
+func TestEvalPanel32Accumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range batchKernels() {
+		b32, _ := AsBatch32(k)
+		sd, td := k.SrcDim(), k.TrgDim()
+		tx, ty, tz, _, _, _ := randPanel32(rng, 9)
+		sx, sy, sz, _, _, _ := randPanel32(rng, 11)
+		den := make([]float32, 11*sd)
+		for i := range den {
+			den[i] = float32(rng.NormFloat64())
+		}
+		once := make([]float64, 9*td)
+		b32.EvalPanel32(tx, ty, tz, sx, sy, sz, den, once, -1)
+		twice := make([]float64, 9*td)
+		b32.EvalPanel32(tx, ty, tz, sx, sy, sz, den, twice, -1)
+		b32.EvalPanel32(tx, ty, tz, sx, sy, sz, den, twice, -1)
+		for i := range once {
+			if d := math.Abs(twice[i] - 2*once[i]); d > 1e-12*math.Abs(once[i]) {
+				t.Fatalf("%s: out[%d] after two calls %v, want 2×%v", k.Name(), i, twice[i], once[i])
+			}
+		}
+	}
+}
+
+// TestMax32 pins the IEEE maxNum contract of the branch-free max32,
+// including the NaN-discarding and signed-zero cases the bit tricks exist
+// for.
+func TestMax32(t *testing.T) {
+	nan := float32(math.NaN())
+	negZero := float32(math.Copysign(0, -1))
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		a, b, want float32
+	}{
+		{1, 2, 2},
+		{2, 1, 2},
+		{-3, -5, -3},
+		{-1, 1, 1},
+		{nan, 7, 7},     // max(NaN, x) = x — the Algorithm 4 identity
+		{7, nan, 7},     // symmetric
+		{nan, 0, 0},     // the guard's exact use: squash NaN against 0
+		{nan, -2, -2},   // NaN discarded even against a negative
+		{0, negZero, 0}, // IEEE maxNum: +0 beats −0
+		{negZero, 0, 0}, // either operand order
+		{inf, 5, inf},
+		{-5, inf, inf},
+		{float32(math.Inf(-1)), -9, -9},
+	}
+	for _, c := range cases {
+		got := max32(c.a, c.b)
+		if math.Float32bits(got) != math.Float32bits(c.want) {
+			t.Errorf("max32(%v, %v) = %v (bits %#x), want %v (bits %#x)",
+				c.a, c.b, got, math.Float32bits(got), c.want, math.Float32bits(c.want))
+		}
+	}
+	// Signed-zero bit patterns, checked explicitly.
+	if bits := math.Float32bits(max32(0, negZero)); bits != 0 {
+		t.Errorf("max32(+0, -0) bits = %#x, want +0", bits)
+	}
+	if bits := math.Float32bits(max32(negZero, 0)); bits != 0 {
+		t.Errorf("max32(-0, +0) bits = %#x, want +0", bits)
+	}
+	if bits := math.Float32bits(max32(negZero, negZero)); bits != 0x80000000 {
+		t.Errorf("max32(-0, -0) bits = %#x, want -0", bits)
+	}
+	// Both NaN: result must be NaN.
+	if got := max32(nan, nan); !math.IsNaN(float64(got)) {
+		t.Errorf("max32(NaN, NaN) = %v, want NaN", got)
+	}
+}
+
+// TestNanZero32 checks the float32 singular-pair guard: nonzero finite
+// values pass through bit-exactly (including denormals), infinities and NaN
+// squash to +0. (−0 normalizes to +0 through the x+(x−x) step, exactly as
+// in the float64 nanZero — irrelevant to an additive contribution.)
+func TestNanZero32(t *testing.T) {
+	finite := []float32{0, 1, -1, 0.5, -2.25, 3.4e38, -3.4e38, 1e-42}
+	for _, v := range finite {
+		if got := nanZero32(v); math.Float32bits(got) != math.Float32bits(v) {
+			t.Errorf("nanZero32(%v) = %v (bits %#x), want identity", v, got, math.Float32bits(got))
+		}
+	}
+	nonFinite := []float32{
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		float32(math.Copysign(0, -1)), // −0 normalizes to +0
+	}
+	for _, v := range nonFinite {
+		if got := nanZero32(v); math.Float32bits(got) != 0 {
+			t.Errorf("nanZero32(%v) = %v (bits %#x), want +0", v, got, math.Float32bits(got))
+		}
+	}
+}
+
+// TestLaplaceEval32SelfPair keeps the scalar device kernel's guard honest
+// now that max32 is branch-free.
+func TestLaplaceEval32SelfPair(t *testing.T) {
+	if got := LaplaceEval32(0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 3); got != 0 {
+		t.Fatalf("coincident pair contributed %v, want 0", got)
+	}
+	got := LaplaceEval32(1, 0, 0, 0, 0, 0, 4)
+	want := float32(invFourPi) * 4
+	if math.Abs(float64(got-want)) > 1e-6 {
+		t.Fatalf("unit pair = %v, want %v", got, want)
+	}
+}

@@ -22,19 +22,47 @@ func LaplaceEval32(tx, ty, tz, sx, sy, sz, density float32) float32 {
 	return inv * density
 }
 
-// sqrt32 is a single-precision square root.
+// sqrt32 is a single-precision square root (compiled to a SQRTSS
+// instruction on amd64 — the float64 round trip is free).
 func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
 
-// max32 implements the IEEE-compliant max: max32(NaN, x) = x.
+// isNaN32 returns an all-ones mask when bits encode a NaN and zero
+// otherwise, with no branch: a float32 is NaN iff, after dropping the sign
+// bit (the <<1), the remaining exponent+mantissa exceed the Inf pattern.
+// The subtraction then goes negative exactly for NaNs, and the arithmetic
+// shift smears its sign across the word.
+func isNaN32(bits uint32) uint32 {
+	return uint32(int64(0xFF000000-uint64(bits<<1)) >> 63)
+}
+
+// max32 implements the IEEE-754 maxNum: max32(NaN, x) = x, max32(x, NaN) = x,
+// max32(NaN, NaN) = NaN, and max32(+0, −0) = +0. It is branch-free, per the
+// paper's Algorithm 4 discipline (the Go builtin max cannot be used here: it
+// propagates NaN instead of discarding it). The comparison maps each operand
+// to a monotone integer key — flip the sign bit for non-negatives, all bits
+// for negatives — so one integer subtraction orders any two non-NaN floats,
+// including ±0; NaN operands are then overridden by mask selection.
 func max32(a, b float32) float32 {
-	if a != a { // NaN
-		return b
-	}
-	if b != b {
-		return a
-	}
-	if a > b {
-		return a
-	}
-	return b
+	ab := math.Float32bits(a)
+	bb := math.Float32bits(b)
+	aNaN := isNaN32(ab)
+	bNaN := isNaN32(bb)
+	ak := ab ^ (uint32(int32(ab)>>31) | 0x80000000)
+	bk := bb ^ (uint32(int32(bb)>>31) | 0x80000000)
+	ge := uint32(^((int64(ak) - int64(bk)) >> 63)) // all-ones when a >= b
+	r := (ab & ge) | (bb &^ ge)
+	r = (r &^ aNaN) | (bb & aNaN) // NaN a loses to b
+	r = (r &^ bNaN) | (ab & bNaN) // NaN b loses to a (both NaN: NaN)
+	return math.Float32frombits(r)
+}
+
+// nanZero32 is the float32 form of the Algorithm 4 self-interaction guard
+// (see nanZero in batch.go for the float64 one): x + (x − x) turns ±Inf into
+// NaN and leaves finite values untouched, and the NaN mask then clears the
+// word to +0 — the singular pair contributes nothing, with no branch on the
+// coordinates.
+func nanZero32(x float32) float32 {
+	x = x + (x - x)
+	b := math.Float32bits(x)
+	return math.Float32frombits(b &^ isNaN32(b))
 }

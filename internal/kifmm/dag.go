@@ -41,6 +41,12 @@ import (
 func (e *Engine) EvaluateDAG(trace *sched.Trace) (sched.Stats, error) {
 	defer e.timed(diag.PhaseTotalEval)()
 	e.ensureScratch(e.dagWorkers())
+	if e.bk32 != nil {
+		// Refresh the float32 density mirror once up front: the DAG tasks
+		// invoke the per-octant bodies directly, without the barrier-path
+		// phase entrypoints that normally do this.
+		e.Den32()
+	}
 	g := e.buildDAG()
 	stats, err := g.Run(sched.Options{Workers: e.Workers, Trace: trace})
 	e.flushFlops()

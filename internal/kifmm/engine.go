@@ -77,6 +77,12 @@ type Engine struct {
 	// phase bodies pay one indirect call per panel instead of one dynamic
 	// Kernel.Eval dispatch per source-target pair.
 	bk kernel.Batch
+	// bk32, when non-nil, switches the near-field bodies (uliLeaf, xliNode,
+	// wliLeaf, d2tLeaf) to the single-precision panel evaluator over the
+	// Layout's float32 mirrors with float64 accumulation — the paper's GPU
+	// precision on the CPU path (SetFloat32NearField). The far field (S2U,
+	// translations, downward solves) always stays float64.
+	bk32 kernel.Batch32
 	// scratch holds one evaluation scratch per worker (ensureScratch).
 	scratch []*evalScratch
 	// den32 is the reused single-precision density buffer of Den32.
@@ -91,8 +97,39 @@ type Engine struct {
 // concurrently (Plan.Apply) should build the Layout once and share it via
 // NewEngineLayout.
 func NewEngine(ops *Operators, tree *octree.Tree) *Engine {
-	return NewEngineLayout(ops, tree, NewLayout(tree, ops))
+	// A private layout keeps the float32 mirrors: engines built this way
+	// (tests, experiments, direct accelerator use) may enable any consumer.
+	return NewEngineLayout(ops, tree, NewLayout(tree, ops, true))
 }
+
+// SetFloat32NearField switches the near-field bodies between the float64
+// panel evaluator (on=false, the default) and the single-precision one
+// (on=true). Enabling requires a shared Layout and the kernel to implement
+// kernel.Batch32; the return value reports whether the requested state took
+// effect (false means the engine stays on float64 — a capability miss, not
+// an error). The float32 bodies do not read the Layout's global X32 mirrors:
+// every panel is localized to its target node's center in float64 and
+// rounded per call (Layout.PointsLocal32), so only the accelerated (GPU)
+// path still needs mirror-carrying layouts.
+func (e *Engine) SetFloat32NearField(on bool) bool {
+	if !on {
+		e.bk32 = nil
+		return true
+	}
+	if e.Layout == nil {
+		return false
+	}
+	b32, ok := kernel.AsBatch32(e.Ops.Kern)
+	if !ok {
+		return false
+	}
+	e.bk32 = b32
+	return true
+}
+
+// Float32NearField reports whether the near-field bodies run in single
+// precision.
+func (e *Engine) Float32NearField() bool { return e.bk32 != nil }
 
 // NewEngineLayout allocates evaluation state for the tree on a shared,
 // read-only streaming layout (which must have been built from the same tree
@@ -256,13 +293,17 @@ var flopPhaseName = [numFlopPhase]string{
 // time (par.ForW and sched.AddW guarantee worker indices are exclusive), so
 // the bodies run without locks and without per-octant allocation.
 type evalScratch struct {
-	chk        []float64 // CheckLen: check potentials / MulVec temporary
-	up         []float64 // UpwardLen: equivalent-density temporary
-	sx, sy, sz []float64 // NumSurf: surface coordinate panel
-	vgrid      []float64 // GridLen: real-grid scratch for the half-spectrum FFTs
-	vacc       []float64 // AccLen: per-target frequency accumulator (DAG path)
-	vsort      []vRef    // direction-sorted V-list scratch (DAG path)
-	flops      [numFlopPhase]int64
+	chk              []float64 // CheckLen: check potentials / MulVec temporary
+	up               []float64 // UpwardLen: equivalent-density temporary
+	sx, sy, sz       []float64 // NumSurf: surface coordinate panel
+	sx32, sy32, sz32 []float32 // NumSurf: single-precision surface panel
+	eq32             []float32 // UpwardLen: single-precision equivalent densities
+	tx32, ty32, tz32 []float32 // max leaf points: box-local float32 target panel
+	px32, py32, pz32 []float32 // max leaf points: box-local float32 source panel
+	vgrid            []float64 // GridLen: real-grid scratch for the half-spectrum FFTs
+	vacc             []float64 // AccLen: per-target frequency accumulator (DAG path)
+	vsort            []vRef    // direction-sorted V-list scratch (DAG path)
+	flops            [numFlopPhase]int64
 }
 
 // vRef is one V-list source tagged with its packed direction key, the DAG
@@ -333,14 +374,43 @@ func (e *Engine) ensureScratch(n int) []*evalScratch {
 	for len(e.scratch) < n {
 		ns := e.Ops.NumSurf()
 		e.scratch = append(e.scratch, &evalScratch{
-			chk: make([]float64, e.Ops.CheckLen()),
-			up:  make([]float64, e.Ops.UpwardLen()),
-			sx:  make([]float64, ns),
-			sy:  make([]float64, ns),
-			sz:  make([]float64, ns),
+			chk:  make([]float64, e.Ops.CheckLen()),
+			up:   make([]float64, e.Ops.UpwardLen()),
+			sx:   make([]float64, ns),
+			sy:   make([]float64, ns),
+			sz:   make([]float64, ns),
+			sx32: make([]float32, ns),
+			sy32: make([]float32, ns),
+			sz32: make([]float32, ns),
+			eq32: make([]float32, e.Ops.UpwardLen()),
 		})
 	}
+	if e.bk32 != nil {
+		// The float32 bodies localize point panels into per-worker scratch
+		// sized to the widest leaf. Sessions can widen leaves between Applys,
+		// so the bound is re-checked at every phase entry (a max over leaf
+		// extents, cheap next to the phase itself).
+		m := e.maxLeafPts()
+		for _, s := range e.scratch {
+			if cap(s.tx32) < m {
+				s.tx32, s.ty32, s.tz32 = make([]float32, m), make([]float32, m), make([]float32, m)
+				s.px32, s.py32, s.pz32 = make([]float32, m), make([]float32, m), make([]float32, m)
+			}
+		}
+	}
 	return e.scratch
+}
+
+// maxLeafPts returns the largest per-leaf point count — the panel width the
+// float32 point scratch buffers must accommodate.
+func (e *Engine) maxLeafPts() int {
+	m := 0
+	for _, i := range e.Tree.Leaves {
+		if n := e.Tree.Nodes[i].NPoints(); n > m {
+			m = n
+		}
+	}
+	return m
 }
 
 // barrierWorkers is the worker count of the bulk-synchronous phase loops.
@@ -532,6 +602,9 @@ func dirBetween(src, trg morton.Key) (int, int, int) {
 // (step 3b).
 func (e *Engine) XLI() {
 	defer e.timed(diag.PhaseXList)()
+	if e.bk32 != nil {
+		e.Den32()
+	}
 	t := e.Tree
 	sc := e.ensureScratch(e.barrierWorkers())
 	par.ForW(e.Workers, len(t.Nodes), func(w, i int) {
@@ -546,6 +619,10 @@ func (e *Engine) XLI() {
 //
 //fmm:hotpath
 func (e *Engine) xliNode(i int32, s *evalScratch) {
+	if e.bk32 != nil {
+		e.xliNode32(i, s)
+		return
+	}
 	t := e.Tree
 	n := &t.Nodes[i]
 	if len(n.X) == 0 || !e.trgNode(i) {
@@ -635,6 +712,10 @@ func (e *Engine) WLI() {
 //
 //fmm:hotpath
 func (e *Engine) wliLeaf(i int32, s *evalScratch) {
+	if e.bk32 != nil {
+		e.wliLeaf32(i, s)
+		return
+	}
 	t := e.Tree
 	n := &t.Nodes[i]
 	if len(n.W) == 0 || n.NPoints() == 0 || !e.trgNode(i) {
@@ -676,6 +757,10 @@ func (e *Engine) D2T() {
 //
 //fmm:hotpath
 func (e *Engine) d2tLeaf(i int32, s *evalScratch) {
+	if e.bk32 != nil {
+		e.d2tLeaf32(i, s)
+		return
+	}
 	t := e.Tree
 	n := &t.Nodes[i]
 	if !n.Local || n.NPoints() == 0 || !e.trgNode(i) {
@@ -695,6 +780,9 @@ func (e *Engine) d2tLeaf(i int32, s *evalScratch) {
 // U-list).
 func (e *Engine) ULI() {
 	defer e.timed(diag.PhaseUList)()
+	if e.bk32 != nil {
+		e.Den32()
+	}
 	t := e.Tree
 	sc := e.ensureScratch(e.barrierWorkers())
 	par.ForW(e.Workers, len(t.Leaves), func(w, li int) {
@@ -711,6 +799,10 @@ func (e *Engine) ULI() {
 //
 //fmm:hotpath
 func (e *Engine) uliLeaf(i int32, s *evalScratch) {
+	if e.bk32 != nil {
+		e.uliLeaf32(i, s)
+		return
+	}
 	t := e.Tree
 	n := &t.Nodes[i]
 	if len(n.U) == 0 || n.NPoints() == 0 || !e.trgNode(i) {
@@ -792,7 +884,7 @@ func (e *Engine) SetPointDensities(orig []float64) {
 // density-independent half (coordinates, panel offsets) lives in the shared
 // Layout.
 func (e *Engine) Den32() []float32 {
-	if e.den32 == nil {
+	if len(e.den32) != len(e.Density) {
 		e.den32 = make([]float32, len(e.Density))
 	}
 	for i, d := range e.Density {

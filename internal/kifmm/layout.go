@@ -29,11 +29,17 @@ type Layout struct {
 	// PX, PY, PZ are the tree points in structure-of-arrays form, tree
 	// (Morton) order, aligned with Tree.Points.
 	PX, PY, PZ []float64
-	// X32, Y32, Z32 mirror PX, PY, PZ in single precision for the streaming
-	// accelerator's data-structure translation (the paper's GPU path is
-	// float32). Leaf i's source panel starts at Tree.Nodes[i].PtLo — the
-	// dense per-node panel index that replaces per-call start maps.
+	// X32, Y32, Z32 mirror PX, PY, PZ in single precision for the float32
+	// consumers — the streaming accelerator's data-structure translation
+	// (the paper's GPU path is float32) and the CPU float32 near field.
+	// Leaf i's source panel starts at Tree.Nodes[i].PtLo — the dense
+	// per-node panel index that replaces per-call start maps. The mirrors
+	// are only built when a float32 consumer exists (NewLayout's f32
+	// argument); plans that stay pure float64 skip the fill and the memory.
 	X32, Y32, Z32 []float32
+	// hasF32 records whether the float32 mirrors are maintained; it is set
+	// at construction and persists across Sync.
+	hasF32 bool
 	// CX, CY, CZ and Half are per-node octant centers and half-sides.
 	CX, CY, CZ, Half []float64
 	// Lev is each node's octant level, the index into the surface tables.
@@ -56,12 +62,19 @@ type surfOffsets struct {
 	X, Y, Z []float64
 }
 
-// NewLayout builds the streaming layout for one tree and operator set.
-func NewLayout(tree *octree.Tree, ops *Operators) *Layout {
-	l := &Layout{}
+// NewLayout builds the streaming layout for one tree and operator set. f32
+// selects whether the float32 coordinate mirrors are maintained: pass true
+// when any single-precision consumer (the gpu path or the float32 near
+// field) will read the layout, false to skip the mirror fill and memory on
+// pure-float64 plans.
+func NewLayout(tree *octree.Tree, ops *Operators, f32 bool) *Layout {
+	l := &Layout{hasF32: f32}
 	l.Sync(tree, ops)
 	return l
 }
+
+// HasF32 reports whether the float32 coordinate mirrors are maintained.
+func (l *Layout) HasF32() bool { return l.hasF32 }
 
 func resizeF64(s []float64, n int) []float64 {
 	if cap(s) < n {
@@ -88,7 +101,9 @@ func (l *Layout) Sync(tree *octree.Tree, ops *Operators) {
 	np := len(tree.Points)
 	nn := len(tree.Nodes)
 	l.PX, l.PY, l.PZ = resizeF64(l.PX, np), resizeF64(l.PY, np), resizeF64(l.PZ, np)
-	l.X32, l.Y32, l.Z32 = resizeF32(l.X32, np), resizeF32(l.Y32, np), resizeF32(l.Z32, np)
+	if l.hasF32 {
+		l.X32, l.Y32, l.Z32 = resizeF32(l.X32, np), resizeF32(l.Y32, np), resizeF32(l.Z32, np)
+	}
 	l.CX, l.CY, l.CZ = resizeF64(l.CX, nn), resizeF64(l.CY, nn), resizeF64(l.CZ, nn)
 	l.Half = resizeF64(l.Half, nn)
 	if cap(l.Lev) < nn {
@@ -98,7 +113,11 @@ func (l *Layout) Sync(tree *octree.Tree, ops *Operators) {
 	}
 	for i, p := range tree.Points {
 		l.PX[i], l.PY[i], l.PZ[i] = p.X, p.Y, p.Z
-		l.X32[i], l.Y32[i], l.Z32[i] = float32(p.X), float32(p.Y), float32(p.Z)
+	}
+	if l.hasF32 {
+		for i, p := range tree.Points {
+			l.X32[i], l.Y32[i], l.Z32[i] = float32(p.X), float32(p.Y), float32(p.Z)
+		}
 	}
 	maxL := 0
 	for i := range tree.Nodes {
@@ -164,5 +183,72 @@ func (l *Layout) fillSurf(o *surfOffsets, i int32, sx, sy, sz []float64) {
 		sx[k] = lox + o.X[k]
 		sy[k] = loy + o.Y[k]
 		sz[k] = loz + o.Z[k]
+	}
+}
+
+// InnerSurf32 is InnerSurf into float32 panels for the single-precision
+// near-field bodies: each point is computed in float64 (center + offset,
+// the same association order as InnerSurf) and rounded once, so the float32
+// surface is the correctly rounded image of the float64 one.
+func (l *Layout) InnerSurf32(i int32, sx, sy, sz []float32) {
+	l.fillSurf32(&l.inner[l.Lev[i]], i, sx, sy, sz)
+}
+
+// OuterSurf32 is OuterSurf into float32 panels.
+func (l *Layout) OuterSurf32(i int32, sx, sy, sz []float32) {
+	l.fillSurf32(&l.outer[l.Lev[i]], i, sx, sy, sz)
+}
+
+func (l *Layout) fillSurf32(o *surfOffsets, i int32, sx, sy, sz []float32) {
+	lox := l.CX[i] - o.radius
+	loy := l.CY[i] - o.radius
+	loz := l.CZ[i] - o.radius
+	for k := range o.X {
+		sx[k] = float32(lox + o.X[k])
+		sy[k] = float32(loy + o.Y[k])
+		sz[k] = float32(loz + o.Z[k])
+	}
+}
+
+// PointsLocal32 fills (dx, dy, dz) with tree points [lo, hi) translated by
+// the float64 origin (ox, oy, oz) and then rounded once to float32. The
+// near-field bodies pass the target node's center as the origin, so the
+// float32 panel coordinates are O(leaf size) and a pair separation keeps
+// O(eps32) relative accuracy — rounding absolute unit-cube coordinates
+// instead would amplify the error of close pairs by coord/distance (the
+// classic float32 cancellation, ~3e-4 on surface distributions), swamping
+// the truncation budget (DESIGN.md §7.8). The slices must have hi−lo
+// entries.
+func (l *Layout) PointsLocal32(lo, hi int, ox, oy, oz float64, dx, dy, dz []float32) {
+	px, py, pz := l.PX[lo:hi], l.PY[lo:hi], l.PZ[lo:hi]
+	for k := range px {
+		dx[k] = float32(px[k] - ox)
+		dy[k] = float32(py[k] - oy)
+		dz[k] = float32(pz[k] - oz)
+	}
+}
+
+// InnerSurfLocal32 is InnerSurf32 relative to the float64 origin
+// (ox, oy, oz): the surface point is formed in float64 — (center − origin) −
+// radius + offset — and rounded once, so a surface panel localized to a
+// nearby node's center carries the same O(eps32) relative pair accuracy as
+// PointsLocal32 panels.
+func (l *Layout) InnerSurfLocal32(i int32, ox, oy, oz float64, sx, sy, sz []float32) {
+	l.fillSurfLocal32(&l.inner[l.Lev[i]], i, ox, oy, oz, sx, sy, sz)
+}
+
+// OuterSurfLocal32 is OuterSurf32 relative to the float64 origin.
+func (l *Layout) OuterSurfLocal32(i int32, ox, oy, oz float64, sx, sy, sz []float32) {
+	l.fillSurfLocal32(&l.outer[l.Lev[i]], i, ox, oy, oz, sx, sy, sz)
+}
+
+func (l *Layout) fillSurfLocal32(o *surfOffsets, i int32, ox, oy, oz float64, sx, sy, sz []float32) {
+	lox := (l.CX[i] - ox) - o.radius
+	loy := (l.CY[i] - oy) - o.radius
+	loz := (l.CZ[i] - oz) - o.radius
+	for k := range o.X {
+		sx[k] = float32(lox + o.X[k])
+		sy[k] = float32(loy + o.Y[k])
+		sz[k] = float32(loz + o.Z[k])
 	}
 }

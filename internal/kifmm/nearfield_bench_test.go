@@ -54,11 +54,22 @@ func nearFieldEngine(b testing.TB, kern kernel.Kernel) *Engine {
 func benchPhase(b *testing.B, panel, pairwise func(e *Engine)) {
 	for _, bk := range benchKernels {
 		e := nearFieldEngine(b, bk.kern)
-		b.Run(bk.name+"/panel", func(b *testing.B) {
+		b.Run(bk.name+"/float64", func(b *testing.B) {
+			e.SetFloat32NearField(false)
 			b.ReportAllocs()
 			for k := 0; k < b.N; k++ {
 				panel(e)
 			}
+		})
+		b.Run(bk.name+"/float32", func(b *testing.B) {
+			if !e.SetFloat32NearField(true) {
+				b.Fatalf("%s: float32 near field unavailable", bk.kern.Name())
+			}
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				panel(e)
+			}
+			e.SetFloat32NearField(false)
 		})
 		b.Run(bk.name+"/pairwise", func(b *testing.B) {
 			b.ReportAllocs()
@@ -172,5 +183,28 @@ func wliLeafPairwise(e *Engine, i int32) {
 				kern.Eval(p, sp, ua[si*sd:(si+1)*sd], out)
 			}
 		}
+	}
+}
+
+// BenchmarkLayoutBuild measures plan-time layout construction with and
+// without the float32 coordinate mirrors — the cost every pure-float64 plan
+// used to pay for a consumer that never existed (mirror construction is now
+// gated on need).
+func BenchmarkLayoutBuild(b *testing.B) {
+	const n = 200000
+	pts := geom.Generate(geom.Ellipsoid, n, 42)
+	tr := octree.Build(pts, 60, 20)
+	tr.BuildLists(nil)
+	ops := NewOperators(kernel.Laplace{}, 6, 1e-9)
+	for _, cfg := range []struct {
+		name string
+		f32  bool
+	}{{"gated", false}, {"mirrors", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				NewLayout(tr, ops, cfg.f32)
+			}
+		})
 	}
 }

@@ -64,6 +64,9 @@ type Config struct {
 	// Accel, when non-nil, substitutes streaming-device implementations
 	// for individual evaluation phases (the GPU path).
 	Accel Accelerator
+	// Float32Near runs the CPU near-field phase bodies in single precision
+	// (kifmm.Engine.SetFloat32NearField).
+	Float32Near bool
 	// Ops, when non-nil, supplies precomputed translation operators
 	// (typically shared across ranks — Operators are immutable and safe
 	// for concurrent use). When nil they are built per call.
@@ -180,6 +183,9 @@ func Evaluate(c *mpi.Comm, pts []geom.Point, densities []float64, cfg Config) *R
 	eng.UseFFTM2L = cfg.UseFFTM2L
 	eng.Workers = cfg.Workers
 	eng.Prof = prof
+	if cfg.Float32Near {
+		eng.SetFloat32NearField(true)
+	}
 
 	res := &Result{Prof: prof, Tree: dt}
 	res.SetupCommBytes, res.SetupCommMsgs = res0Setup.Bytes, res0Setup.Messages

@@ -115,6 +115,10 @@ type Server struct {
 	// Session step counters (cumulative across live and closed sessions;
 	// surfaced on /metrics).
 	sessSteps, sessMigrated, sessPatched, sessReplans atomic.Int64
+
+	// Plan builds by resolved near-field precision (surfaced on /metrics
+	// as fmmserve_plans_built_total{precision=...}).
+	plansBuilt64, plansBuilt32 atomic.Int64
 }
 
 // New builds a server with the given configuration.
@@ -275,6 +279,11 @@ func (s *Server) buildPlan(id string, pts [][3]float64, opts SolverOptions) (*Ca
 	solver, err := kifmm.New(opts.ToOptions())
 	if err != nil {
 		return nil, err
+	}
+	if solver.Precision() == kifmm.PrecisionFloat32 {
+		s.plansBuilt32.Add(1)
+	} else {
+		s.plansBuilt64.Add(1)
 	}
 	tf0 := kifmm.TranslationCache()
 	plan, err := solver.Plan(ToPoints(pts))
@@ -458,6 +467,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "fmmserve_plan_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "fmmserve_plan_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "fmmserve_plan_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "fmmserve_plans_built_total{precision=\"float64\"} %d\n", s.plansBuilt64.Load())
+	fmt.Fprintf(w, "fmmserve_plans_built_total{precision=\"float32\"} %d\n", s.plansBuilt32.Load())
 	fmt.Fprintf(w, "fmmserve_workers %d\n", ps.Workers)
 	fmt.Fprintf(w, "fmmserve_workers_busy %d\n", ps.Busy)
 	fmt.Fprintf(w, "fmmserve_queue_capacity %d\n", ps.QueueCap)

@@ -31,6 +31,10 @@ type SolverOptions struct {
 	Balanced     bool    `json:"balanced,omitempty"`
 	Accelerated  bool    `json:"accelerated,omitempty"`
 	YukawaLambda float64 `json:"yukawa_lambda,omitempty"`
+	// Precision selects the near-field arithmetic: "" or "auto" (float32
+	// when the plan is accelerated, float64 otherwise), "float64", or
+	// "float32" (see kifmm.Precision).
+	Precision string `json:"precision,omitempty"`
 	// Exec selects the evaluation execution strategy: "" (auto),
 	// "barrier", or "dag" (see kifmm.ExecMode).
 	Exec string `json:"exec,omitempty"`
@@ -62,6 +66,37 @@ func toExecMode(s string) kifmm.ExecMode {
 	}
 }
 
+// toPrecision maps the wire string to kifmm.Precision; unknown strings fall
+// back to auto, matching the library default.
+func toPrecision(s string) kifmm.Precision {
+	switch s {
+	case "float64":
+		return kifmm.PrecisionFloat64
+	case "float32":
+		return kifmm.PrecisionFloat32
+	default:
+		return kifmm.PrecisionAuto
+	}
+}
+
+// resolvedPrecision is the canonical form of the precision option used for
+// plan identity: the same resolution rule as kifmm.FMM.Precision, so "auto"
+// shares a cache entry with an explicit request for what auto resolves to,
+// while float32 and float64 plans stay distinct.
+func resolvedPrecision(o SolverOptions) string {
+	switch o.Precision {
+	case "float64":
+		return "float64"
+	case "float32":
+		return "float32"
+	default:
+		if o.Accelerated {
+			return "float32"
+		}
+		return "float64"
+	}
+}
+
 // ToOptions maps the wire form onto kifmm.Options; zero values keep the
 // library defaults.
 func (o SolverOptions) ToOptions() kifmm.Options {
@@ -76,6 +111,7 @@ func (o SolverOptions) ToOptions() kifmm.Options {
 		Balanced:     o.Balanced,
 		Accelerated:  o.Accelerated,
 		YukawaLambda: o.YukawaLambda,
+		Precision:    toPrecision(o.Precision),
 		Exec:         toExecMode(o.Exec),
 		Shards:       o.Shards,
 		ShardComm:    o.ShardComm,
@@ -241,6 +277,11 @@ func PlanKey(points [][3]float64, o SolverOptions) string {
 	wb(o.Balanced)
 	wb(o.Accelerated)
 	wf(o.YukawaLambda)
+	// The near-field precision participates in resolved form: a float32
+	// plan carries different layout state than a float64 one, so they are
+	// distinct resident plans even for identical geometry.
+	h.Write([]byte(resolvedPrecision(o)))
+	h.Write([]byte{0})
 	h.Write([]byte(o.Exec))
 	h.Write([]byte{0})
 	// Shard configuration is part of plan identity: the same points served

@@ -69,6 +69,10 @@ type Config struct {
 	// locally; beyond it the step rebuilds every interaction list (still
 	// without rebuilding the tree). Default 128.
 	MaxPatchSites int
+	// Float32Near runs the near-field phases in single precision (the
+	// session's layout then maintains float32 coordinate mirrors across
+	// steps; see kifmm.Engine.SetFloat32NearField).
+	Float32Near bool
 }
 
 func (c Config) withDefaults() Config {
@@ -187,11 +191,17 @@ func New(pts []geom.Point, cfg Config) (*Session, error) {
 	}
 	s.buildTree()
 	s.prewarm()
-	s.layout = ikifmm.NewLayout(s.tree, cfg.Ops)
+	// The float32 near field localizes its panels per call and never reads
+	// the layout's X32 mirrors, so session layouts stay mirror-free at any
+	// precision.
+	s.layout = ikifmm.NewLayout(s.tree, cfg.Ops, false)
 	s.eng = ikifmm.NewEngineLayout(cfg.Ops, s.tree, s.layout)
 	s.eng.UseFFTM2L = cfg.UseFFTM2L
 	s.eng.Workers = cfg.Workers
 	s.eng.VBlock = cfg.VBlock
+	if cfg.Float32Near {
+		s.eng.SetFloat32NearField(true)
+	}
 	return s, nil
 }
 

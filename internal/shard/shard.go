@@ -57,6 +57,10 @@ type Config struct {
 	// of raw point counts (Section III-B's weighting, computed from the
 	// global tree's lists).
 	LoadBalance bool
+	// Float32Near runs each rank's near-field phases in single precision
+	// (per-rank layouts then carry float32 coordinate mirrors; see
+	// kifmm.Engine.SetFloat32NearField).
+	Float32Near bool
 }
 
 // rankState is one rank's immutable setup: its LET, the streaming layout
@@ -155,7 +159,9 @@ func BuildPlan(tree *octree.Tree, cfg Config) (*Plan, error) {
 		vecLen: cfg.Ops.UpwardLen(),
 	}
 	for r := 0; r < R; r++ {
-		rs := &rankState{dt: dts[r], layout: kifmm.NewLayout(dts[r].Tree, cfg.Ops)}
+		// Mirror-free layouts: the float32 near field (Float32Near) localizes
+		// its panels per call and never reads the layout's X32 mirrors.
+		rs := &rankState{dt: dts[r], layout: kifmm.NewLayout(dts[r].Tree, cfg.Ops, false)}
 		lo, hi := bounds[r][0], bounds[r][1]
 		for gi := lo; gi < hi; gi++ {
 			li := tree.Leaves[gi]
@@ -313,6 +319,9 @@ func (p *Plan) getEngines() ([]*kifmm.Engine, *diag.Profile) {
 			eng.UseFFTM2L = p.cfg.UseFFTM2L
 			eng.Workers = p.perRankWorkers()
 			eng.VBlock = p.cfg.VBlock
+			if p.cfg.Float32Near {
+				eng.SetFloat32NearField(true)
+			}
 			set[r] = eng
 		}
 	} else {

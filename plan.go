@@ -117,13 +117,20 @@ func (f *FMM) Plan(points []Point) (*Plan, error) {
 			Workers:     f.opt.Workers,
 			VBlock:      f.opt.VListBlock,
 			LoadBalance: !f.opt.NoLoadBalance,
+			Float32Near: f.float32Near(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("kifmm: %w", err)
 		}
 		return &Plan{f: f, tree: tree, n: len(points), shard: sp}, nil
 	}
-	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops), n: len(points) - nTrg, nTrg: nTrg}, nil
+	// The layout's float32 coordinate mirrors are built only when a
+	// single-precision consumer will read them — now solely the simulated
+	// streaming device (the CPU float32 near field localizes its own panels
+	// per call and never touches the mirrors). Unaccelerated plans skip the
+	// fill and the 12 bytes per point at any precision.
+	needF32 := f.opt.Accelerated
+	return &Plan{f: f, tree: tree, layout: ikifmm.NewLayout(tree, f.ops, needF32), n: len(points) - nTrg, nTrg: nTrg}, nil
 }
 
 // TranslationCacheStats is a snapshot of the process-wide V-list
@@ -215,9 +222,13 @@ func (p *Plan) MemoryBytes() int64 {
 	const nodeStruct = 120 // Node fixed fields, approximate
 	engine := nodes*int64(2*ops.UpwardLen()+ops.CheckLen())*8 +
 		pts*int64(p.f.kern.SrcDim()+p.f.kern.TrgDim())*8
-	// Streaming layout: float64 + float32 SoA point panels plus per-node
-	// centers, half-sides, and levels.
-	layout := pts*(3*8+3*4) + nodes*(4*8+1)
+	// Streaming layout: float64 SoA point panels plus per-node centers,
+	// half-sides, and levels; the float32 mirrors exist only when a
+	// single-precision consumer required them.
+	layout := pts*(3*8) + nodes*(4*8+1)
+	if p.layout != nil && p.layout.HasF32() {
+		layout += pts * (3 * 4)
+	}
 	return nodes*nodeStruct + lists + pts*(24+8) + engine + layout
 }
 
@@ -237,6 +248,9 @@ func (p *Plan) getEngine() *ikifmm.Engine {
 		eng.Workers = p.f.opt.Workers
 		eng.VBlock = p.f.opt.VListBlock
 		eng.SetSplitRoles(p.nTrg)
+		if p.f.float32Near() {
+			eng.SetFloat32NearField(true)
+		}
 	} else {
 		eng.Reset()
 	}

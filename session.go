@@ -78,13 +78,14 @@ func (f *FMM) NewSession(points []Point) (*Session, error) {
 	}
 	useDAG := f.opt.Exec == ExecDAG || (f.opt.Exec == ExecAuto && f.opt.Workers > 1)
 	s, err := session.New(toGeom(points), session.Config{
-		Ops:       f.ops,
-		Q:         f.opt.PointsPerBox,
-		MaxDepth:  f.opt.MaxDepth,
-		Workers:   f.opt.Workers,
-		UseFFTM2L: !f.opt.DenseM2L,
-		VBlock:    f.opt.VListBlock,
-		UseDAG:    useDAG,
+		Ops:         f.ops,
+		Q:           f.opt.PointsPerBox,
+		MaxDepth:    f.opt.MaxDepth,
+		Workers:     f.opt.Workers,
+		UseFFTM2L:   !f.opt.DenseM2L,
+		VBlock:      f.opt.VListBlock,
+		UseDAG:      useDAG,
+		Float32Near: f.float32Near(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("kifmm: %w", err)
