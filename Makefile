@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-nearfield bench-nearfield-json bench-json bench-shard bench-session bench-smoke sched-stress shard-stress session-stress lint ci
+.PHONY: build vet test race bench bench-nearfield bench-nearfield-json bench-json bench-shard bench-session bench-smoke sched-stress shard-stress session-stress lint lint-baseline lint-inject ci
 
 build:
 	$(GO) build ./...
@@ -76,11 +76,31 @@ shard-stress:
 session-stress:
 	$(GO) test -race -count=3 ./internal/session/...
 
-# Project-specific static analysis (DESIGN.md §7.5): build the fmmvet
-# multichecker and run it over the tree through `go vet -vettool`, so
-# results are cached by the go build cache like any other vet run.
+# Project-specific static analysis (DESIGN.md §7.5, §7.9): build the fmmvet
+# multichecker and run it twice — through `go vet -vettool` (per-package,
+# cached by the go build cache, facts-based interprocedural propagation) and
+# standalone (whole-program in one process: lock-order cycle detection plus
+# the compiler-backed escape diff against escape_baseline.txt). Both must be
+# clean. Machine-readable output is available via `go run ./cmd/fmmvet -json ./...`.
 lint:
 	$(GO) build -o bin/fmmvet ./cmd/fmmvet
 	$(GO) vet -vettool=bin/fmmvet ./...
+	$(GO) run ./cmd/fmmvet ./...
 
-ci: build vet lint race sched-stress shard-stress session-stress bench-smoke
+# Regenerate escape_baseline.txt after an *intentional* change to hot-path
+# escape behavior (new function in the hot closure, refactor that moves an
+# allocation). The standalone run (`make lint`) diffs `go build -gcflags=-m=1`
+# output for hot-path functions against this file and fails on any new heap
+# escape; review the diff in the regenerated baseline before committing it.
+lint-baseline:
+	$(GO) run ./cmd/fmmvet -write-escape-baseline ./...
+
+# Negative test for the lint gate itself: copies the tree to a scratch dir,
+# plants a cross-package hot-path allocation, an AB/BA lock-order cycle, and
+# a hot-path escape regression, and asserts each one FAILS fmmvet with the
+# expected diagnostic. Guards against the analyzers being silently wedged
+# open (a bad baseline, an over-broad allow, a scope bug).
+lint-inject:
+	./scripts/lint_inject.sh
+
+ci: build vet lint lint-inject race sched-stress shard-stress session-stress bench-smoke

@@ -1,19 +1,27 @@
-// Command fmmvet is the project's static-analysis suite: five analyzers
+// Command fmmvet is the project's static-analysis suite: eight analyzers
 // enforcing the determinism, hot-path allocation, and concurrency
-// invariants the FMM engine depends on.
+// invariants the FMM engine depends on. Since v2 the suite is
+// interprocedural: a whole-program call graph propagates //fmm:hotpath and
+// //fmm:deterministic scope across package boundaries (//fmm:coldcall stops
+// it at deliberate slow-path edges), the compiler's escape/inlining
+// decisions for the hot closure are diffed against escape_baseline.txt, and
+// a lock-order analyzer reports acquisition cycles as potential deadlocks.
 //
-// Run standalone:
+// Run standalone (whole-program: callgraph propagation + lockorder +
+// escape):
 //
-//	go run ./cmd/fmmvet ./...
+//	go run ./cmd/fmmvet [-json] [-write-escape-baseline] ./...
 //
-// or as a vet tool (cached by the go build cache, used by `make lint`):
+// or as a vet tool (cached by the go build cache, used by `make lint`;
+// propagation crosses packages via vet facts, escape runs standalone-only):
 //
 //	go build -o bin/fmmvet ./cmd/fmmvet
 //	go vet -vettool=bin/fmmvet ./...
 //
 // See DESIGN.md §7.5 for the annotation grammar (//fmm:hotpath,
-// //fmm:deterministic, //fmm:allow) and each analyzer's package doc for its
-// rationale.
+// //fmm:deterministic, //fmm:allow, //fmm:coldcall), §7.9 for the call
+// graph, escape baseline, and lock-order model, and each analyzer's package
+// doc for its rationale.
 package main
 
 import (
@@ -21,18 +29,31 @@ import (
 
 	"kifmm/internal/analysis"
 	"kifmm/internal/analysis/diagbatch"
+	"kifmm/internal/analysis/escape"
 	"kifmm/internal/analysis/hotalloc"
+	"kifmm/internal/analysis/lockorder"
 	"kifmm/internal/analysis/locksafe"
 	"kifmm/internal/analysis/mapiter"
 	"kifmm/internal/analysis/nodeterm"
 )
 
 func main() {
-	os.Exit(analysis.Main([]*analysis.Analyzer{
+	body := []*analysis.Analyzer{
 		mapiter.Analyzer,
 		hotalloc.Analyzer,
 		diagbatch.Analyzer,
 		nodeterm.Analyzer,
 		locksafe.Analyzer,
-	}))
+	}
+	globals := func(opts analysis.MainOptions, patterns []string) []*analysis.GlobalAnalyzer {
+		return []*analysis.GlobalAnalyzer{
+			lockorder.Analyzer,
+			escape.New(escape.Config{
+				BaselinePath: opts.EscapeBaseline,
+				Write:        opts.WriteEscapeBaseline,
+				Patterns:     patterns,
+			}),
+		}
+	}
+	os.Exit(analysis.Main(body, globals))
 }

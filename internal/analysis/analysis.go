@@ -44,6 +44,15 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Chain is the hot/deterministic propagation path from the directly
+	// annotated root to the function containing the finding (short names,
+	// root first). Empty for directly annotated scope and for analyzers
+	// that do not propagate.
+	Chain []string
+	// PosStr overrides Pos rendering when set — used for facts-imported
+	// diagnostics whose positions belong to another compilation unit's
+	// file set.
+	PosStr string
 }
 
 // Pass carries one typechecked package through one analyzer.
@@ -60,6 +69,14 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Annot holds the package's parsed fmm annotations.
 	Annot *Annotations
+	// Prop, when non-nil, is the whole-program hot/deterministic closure:
+	// scope iteration then covers propagated functions, not just directly
+	// annotated ones. ids maps this package's declarations into the graph.
+	Prop *Propagation
+	ids  map[*ast.FuncDecl]FuncID
+	// forceScope widens HotFuncs/DetFuncs to every declared function — the
+	// unit driver's conditional-diagnostic collection (facts.go).
+	forceScope bool
 
 	diags []Diagnostic
 }
@@ -75,45 +92,110 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// RunAnalyzers runs every analyzer over the package, applies the
-// //fmm:allow suppressions, and returns the surviving diagnostics sorted by
-// position: the violations plus one diagnostic (analyzer "fmmvet") per
-// malformed or unused suppression, so a suppression without a justification
-// — or one that no longer suppresses anything — fails the build instead of
-// rotting silently.
+// ReportfVia records a diagnostic carrying a propagation chain. A chain of
+// length ≤ 1 (direct annotation) is dropped from the rendering.
+func (p *Pass) ReportfVia(pos token.Pos, chain []string, format string, args ...any) {
+	if len(chain) <= 1 {
+		chain = nil
+	}
+	p.Report(Diagnostic{Pos: pos, Chain: chain, Message: fmt.Sprintf(format, args...)})
+}
+
+// HotFuncs invokes fn for every function in hot-path scope: directly
+// annotated //fmm:hotpath, or (when whole-program propagation ran) reachable
+// from one through non-cold call edges. chain is the propagation path, root
+// first; nil for direct annotations.
+func (p *Pass) HotFuncs(fn func(fd *ast.FuncDecl, chain []string)) {
+	p.scopeFuncs(fn, p.Annot.Hotpath, func(pr *Propagation) map[FuncID][]string { return pr.Hot })
+}
+
+// DetFuncs invokes fn for every function in deterministic scope, directly
+// annotated (function or package) or propagated.
+func (p *Pass) DetFuncs(fn func(fd *ast.FuncDecl, chain []string)) {
+	p.scopeFuncs(fn, p.Annot.Deterministic, func(pr *Propagation) map[FuncID][]string { return pr.Det })
+}
+
+func (p *Pass) scopeFuncs(fn func(*ast.FuncDecl, []string), direct func(*ast.FuncDecl) bool, sel func(*Propagation) map[FuncID][]string) {
+	for _, fd := range p.Annot.funcs {
+		switch {
+		case p.forceScope:
+			fn(fd, nil)
+		case direct(fd):
+			fn(fd, nil)
+		case p.Prop != nil:
+			if id, ok := p.ids[fd]; ok {
+				if chain, ok := sel(p.Prop)[id]; ok {
+					fn(fd, chain)
+				}
+			}
+		}
+	}
+}
+
+// RunAnalyzers runs every analyzer over the package with direct-annotation
+// scope only (no propagation), applies the //fmm:allow suppressions, and
+// returns the surviving diagnostics sorted by position: the violations plus
+// one diagnostic (analyzer "fmmvet") per malformed or unused suppression, so
+// a suppression without a justification — or one that no longer suppresses
+// anything — fails the build instead of rotting silently.
 func RunAnalyzers(pkg *PackageInfo, analyzers []*Analyzer) ([]Diagnostic, error) {
-	annot := ParseAnnotations(pkg.Fset, pkg.Files)
-	var all []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Annot:     annot,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
-		}
-		all = append(all, pass.diags...)
+	return RunAnalyzersScoped(pkg, analyzers, ParseAnnotations(pkg.Fset, pkg.Files), nil, nil)
+}
+
+// RunAnalyzersScoped is RunAnalyzers with pre-parsed annotations and an
+// optional whole-program propagation (prop + the graph that computed it, for
+// declaration→FuncID lookups). The whole-program drivers use it so each
+// package's annotations are parsed exactly once — by graph collection —
+// keeping the coldcall/allow usage bookkeeping on one Annotations value.
+func RunAnalyzersScoped(pkg *PackageInfo, analyzers []*Analyzer, annot *Annotations, prop *Propagation, g *Graph) ([]Diagnostic, error) {
+	all, err := runAnalyzerSet(pkg, analyzers, annot, prop, g, false)
+	if err != nil {
+		return nil, err
 	}
 	names := make([]string, len(analyzers))
 	for i, a := range analyzers {
 		names[i] = a.Name
 	}
 	kept := annot.Filter(all, names)
-	sort.SliceStable(kept, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		return kept[i].Analyzer < kept[j].Analyzer
-	})
+	SortDiagnostics(pkg.Fset, kept)
 	return kept, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, then analyzer name.
+// Diagnostics carrying a foreign PosStr sort by that string.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	key := func(d Diagnostic) (string, int) {
+		if d.PosStr != "" {
+			return d.PosStr, 0
+		}
+		p := fset.Position(d.Pos)
+		return p.Filename, p.Line
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		fi, li := key(diags[i])
+		fj, lj := key(diags[j])
+		if fi != fj {
+			return fi < fj
+		}
+		if li != lj {
+			return li < lj
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// Render formats one diagnostic as the drivers print it, appending the
+// propagation chain when present.
+func Render(fset *token.FileSet, d Diagnostic) string {
+	pos := d.PosStr
+	if pos == "" {
+		pos = fset.Position(d.Pos).String()
+	}
+	msg := d.Message
+	if len(d.Chain) > 1 {
+		msg += " (via " + strings.Join(d.Chain, " → ") + ")"
+	}
+	return fmt.Sprintf("%s: [%s] %s", pos, d.Analyzer, msg)
 }
 
 // PackageInfo is one loaded, typechecked package as the drivers hand it to
@@ -124,6 +206,11 @@ type PackageInfo struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DepOnly marks packages loaded only because a named pattern depends on
+	// them. The whole-program driver still collects them into the call graph
+	// (and reports their propagated findings); pattern-scoped runs may skip
+	// their body diagnostics.
+	DepOnly bool
 }
 
 // NewTypesInfo returns a types.Info with every map analyzers consult.

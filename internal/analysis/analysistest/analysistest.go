@@ -64,6 +64,45 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 	checkWants(t, ld.fset, pkg.filenames, diags)
 }
 
+// RunProp loads several fixture packages and analyzes them as one program
+// through RunWholeProgram: annotations propagate across the fixture
+// packages' call graph exactly as in standalone fmmvet, and the optional
+// global analyzers (lockorder, escape) see the assembled graph. Every
+// fixture file's // want expectations are checked; a diagnostic carrying a
+// propagation chain matches with the chain rendered as
+// " (via f \u2192 g)" appended to its message, so fixtures can pin the
+// reported path.
+func RunProp(t *testing.T, testdata string, analyzers []*analysis.Analyzer, globals []*analysis.GlobalAnalyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := &loader{
+		src:    filepath.Join(testdata, "src"),
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*loadedPkg),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", nil)
+	var pkgs []*analysis.PackageInfo
+	var filenames []string
+	for _, pp := range pkgpaths {
+		pkg, err := ld.load(pp)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pp, err)
+		}
+		pkgs = append(pkgs, &analysis.PackageInfo{
+			Path:  pp,
+			Fset:  ld.fset,
+			Files: pkg.files,
+			Types: pkg.types,
+			Info:  pkg.info,
+		})
+		filenames = append(filenames, pkg.filenames...)
+	}
+	diags, err := analysis.RunWholeProgram(pkgs, analyzers, globals)
+	if err != nil {
+		t.Fatalf("whole-program run: %v", err)
+	}
+	checkWants(t, ld.fset, filenames, diags)
+}
+
 type loadedPkg struct {
 	files     []*ast.File
 	filenames []string
@@ -221,17 +260,29 @@ func checkWants(t *testing.T, fset *token.FileSet, filenames []string, diags []a
 		return wants[i].line < wants[j].line
 	})
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		var file string
+		var line int
+		if d.Pos.IsValid() {
+			pos := fset.Position(d.Pos)
+			file, line = pos.Filename, pos.Line
+		} else {
+			f, l, _ := analysis.SplitPosStr(d.PosStr)
+			file, line = f, l
+		}
+		msg := d.Message
+		if len(d.Chain) > 0 {
+			msg += " (via " + strings.Join(d.Chain, " \u2192 ") + ")"
+		}
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+			if !w.hit && w.file == file && w.line == line && w.rx.MatchString(msg) {
 				w.hit = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", file, line, d.Analyzer, msg)
 		}
 	}
 	for _, w := range wants {

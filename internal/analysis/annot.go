@@ -26,11 +26,23 @@ import (
 //	    The reason is mandatory; a malformed or unused allow is itself a
 //	    diagnostic, so every suppression in the tree stays justified and
 //	    live.
+//
+//	//fmm:coldcall <reason...>
+//	    Stops //fmm:hotpath and //fmm:deterministic propagation (DESIGN.md
+//	    §7.9) across a deliberate slow-path boundary. On a function's doc
+//	    comment: the function is a propagation barrier — reaching it from a
+//	    hot or deterministic caller does not place it (or its callees) in
+//	    scope. On a source line: the call and function-value edges
+//	    originating on that line (or the line immediately below, for
+//	    annotations on their own line) do not propagate. The reason is
+//	    mandatory, and a line-scope coldcall that covers no call is itself a
+//	    diagnostic.
 const (
 	markerPrefix  = "//fmm:"
 	markerHot     = "//fmm:hotpath"
 	markerDet     = "//fmm:deterministic"
 	markerAllow   = "//fmm:allow"
+	markerCold    = "//fmm:coldcall"
 	driverName    = "fmmvet"
 	allowNextLine = 1 // an allow on its own line covers the next line too
 )
@@ -50,6 +62,20 @@ type Allow struct {
 	used      bool
 }
 
+// Cold is one parsed //fmm:coldcall propagation barrier.
+type Cold struct {
+	Reason string
+	File   string
+	Line   int
+	Pos    token.Pos
+	// Fn is non-nil when the coldcall sits in a function's doc comment and
+	// marks the whole function as a propagation barrier.
+	Fn *ast.FuncDecl
+	// Malformed is set when the reason is missing.
+	Malformed bool
+	used      bool
+}
+
 // Annotations holds one package's parsed fmm markers.
 type Annotations struct {
 	fset *token.FileSet
@@ -59,6 +85,11 @@ type Annotations struct {
 	hot              map[*ast.FuncDecl]bool
 	det              map[*ast.FuncDecl]bool
 	allows           []*Allow
+	colds            []*Cold
+	// coldChecked is set once a call-graph collection pass has classified
+	// this package's edges; only then can an unused line-scope coldcall be
+	// reported (single-analyzer fixture runs never build the graph).
+	coldChecked bool
 	// funcs holds every FuncDecl with a body, for position lookups.
 	funcs []*ast.FuncDecl
 }
@@ -95,6 +126,8 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 					an.det[fd] = true
 				case markerAllow:
 					an.addAllow(c, rest, fd)
+				case markerCold:
+					an.addCold(c, rest, fd)
 				}
 			}
 		}
@@ -113,6 +146,11 @@ func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
 						continue // already recorded above
 					}
 					an.addAllow(c, rest, nil)
+				case markerCold:
+					if an.inFuncDoc(c, files) {
+						continue // already recorded above
+					}
+					an.addCold(c, rest, nil)
 				}
 			}
 		}
@@ -156,6 +194,55 @@ func (an *Annotations) addAllow(c *ast.Comment, rest string, fn *ast.FuncDecl) {
 		}
 	}
 	an.allows = append(an.allows, a)
+}
+
+func (an *Annotations) addCold(c *ast.Comment, rest string, fn *ast.FuncDecl) {
+	cc := &Cold{
+		File: an.fset.Position(c.Pos()).Filename,
+		Line: an.fset.Position(c.Pos()).Line,
+		Pos:  c.Pos(),
+		Fn:   fn,
+	}
+	// Like allows, the reason ends at an embedded "//" (trailing // want
+	// expectations in fixtures).
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		cc.Malformed = true
+	}
+	cc.Reason = rest
+	an.colds = append(an.colds, cc)
+}
+
+// ColdFunc reports whether fn's doc comment carries a well-formed
+// //fmm:coldcall, making the function a propagation barrier.
+func (an *Annotations) ColdFunc(fn *ast.FuncDecl) bool {
+	for _, cc := range an.colds {
+		if !cc.Malformed && cc.Fn == fn {
+			cc.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// ColdEdge reports whether a call or function-value edge at pos is covered
+// by a line-scope //fmm:coldcall (same line, or the line below a coldcall on
+// its own line), marking the coldcall used.
+func (an *Annotations) ColdEdge(pos token.Pos) bool {
+	p := an.fset.Position(pos)
+	hit := false
+	for _, cc := range an.colds {
+		if cc.Malformed || cc.Fn != nil {
+			continue
+		}
+		if cc.File == p.Filename && (cc.Line == p.Line || p.Line-cc.Line == allowNextLine) {
+			cc.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // inFuncDoc reports whether the comment belongs to some FuncDecl's doc group
@@ -223,6 +310,59 @@ func (an *Annotations) Filter(diags []Diagnostic, ranAnalyzers []string) []Diagn
 	for _, n := range ranAnalyzers {
 		ran[n] = true
 	}
+	kept := an.Suppress(diags)
+	for _, cc := range an.colds {
+		switch {
+		case cc.Malformed:
+			kept = append(kept, Diagnostic{
+				Pos:      cc.Pos,
+				Analyzer: driverName,
+				Message:  "malformed //fmm:coldcall: want \"//fmm:coldcall <reason>\"",
+			})
+		case cc.Fn == nil && an.coldChecked && !cc.used:
+			kept = append(kept, Diagnostic{
+				Pos:      cc.Pos,
+				Analyzer: driverName,
+				Message:  "//fmm:coldcall covers no call or function value; delete it or move it onto the cold edge",
+			})
+		}
+	}
+	for _, a := range an.allows {
+		switch {
+		case a.Malformed:
+			kept = append(kept, Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: driverName,
+				Message:  "malformed //fmm:allow: want \"//fmm:allow <analyzer> <reason>\"",
+			})
+		case !knownAnalyzer(a.Analyzer):
+			kept = append(kept, Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: driverName,
+				Message:  "//fmm:allow names unknown analyzer " + a.Analyzer,
+			})
+		case crossUnitAnalyzer(a.Analyzer):
+			// lockorder and escape diagnostics are assembled from facts of
+			// other compilation units (or the compiler), so whether an allow
+			// fires is undecidable package-locally; never reported unused.
+		case ran[a.Analyzer] && !a.used:
+			kept = append(kept, Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: driverName,
+				Message:  "unused //fmm:allow " + a.Analyzer + ": suppresses no diagnostic; delete it",
+			})
+		}
+	}
+	return kept
+}
+
+// Suppress drops every diagnostic covered by an //fmm:allow for its
+// analyzer, marking the allows used. The whole-program drivers also call it
+// on force-scoped "conditional" diagnostics — findings a function would
+// produce were it in hot/deterministic scope — so an allow that only fires
+// via cross-package propagation still counts as used and is never reported
+// as dead.
+func (an *Annotations) Suppress(diags []Diagnostic) []Diagnostic {
 	var kept []Diagnostic
 	for _, d := range diags {
 		pos := an.fset.Position(d.Pos)
@@ -247,35 +387,45 @@ func (an *Annotations) Filter(diags []Diagnostic, ranAnalyzers []string) []Diagn
 			kept = append(kept, d)
 		}
 	}
-	for _, a := range an.allows {
-		switch {
-		case a.Malformed:
-			kept = append(kept, Diagnostic{
-				Pos:      a.Pos,
-				Analyzer: driverName,
-				Message:  "malformed //fmm:allow: want \"//fmm:allow <analyzer> <reason>\"",
-			})
-		case !knownAnalyzer(a.Analyzer):
-			kept = append(kept, Diagnostic{
-				Pos:      a.Pos,
-				Analyzer: driverName,
-				Message:  "//fmm:allow names unknown analyzer " + a.Analyzer,
-			})
-		case ran[a.Analyzer] && !a.used:
-			kept = append(kept, Diagnostic{
-				Pos:      a.Pos,
-				Analyzer: driverName,
-				Message:  "unused //fmm:allow " + a.Analyzer + ": suppresses no diagnostic; delete it",
-			})
-		}
-	}
 	return kept
+}
+
+// AllowSite is an //fmm:allow location exported for cross-unit matching
+// (lockorder witnesses live in arbitrary packages' facts).
+type AllowSite struct {
+	File string
+	Line int
+}
+
+// AllowSites returns the well-formed line- and function-scope allow
+// positions for one analyzer. Function-scope allows cover every line of
+// their function.
+func (an *Annotations) AllowSites(analyzer string) []AllowSite {
+	var out []AllowSite
+	for _, a := range an.allows {
+		if a.Malformed || a.Analyzer != analyzer {
+			continue
+		}
+		if a.Fn != nil {
+			start := an.fset.Position(a.Fn.Pos()).Line
+			end := an.fset.Position(a.Fn.End()).Line
+			for l := start; l <= end; l++ {
+				out = append(out, AllowSite{File: a.File, Line: l})
+			}
+			continue
+		}
+		out = append(out, AllowSite{File: a.File, Line: a.Line})
+		out = append(out, AllowSite{File: a.File, Line: a.Line + allowNextLine})
+	}
+	return out
 }
 
 // KnownAnalyzers names every analyzer of the fmmvet suite; an //fmm:allow
 // must target one of them (an allow aimed at a misspelled analyzer would
-// otherwise suppress nothing, silently).
-var KnownAnalyzers = []string{"mapiter", "hotalloc", "diagbatch", "nodeterm", "locksafe"}
+// otherwise suppress nothing, silently). escape diagnostics are normally
+// managed through escape_baseline.txt rather than allows, but the name is
+// valid so a deliberate one-off suppression stays expressible.
+var KnownAnalyzers = []string{"mapiter", "hotalloc", "diagbatch", "nodeterm", "locksafe", "lockorder", "escape"}
 
 func knownAnalyzer(name string) bool {
 	for _, n := range KnownAnalyzers {
@@ -284,4 +434,11 @@ func knownAnalyzer(name string) bool {
 		}
 	}
 	return false
+}
+
+// crossUnitAnalyzer names the analyzers whose diagnostics are assembled
+// outside the package (facts merges, compiler output): their allows are
+// exempt from unused reporting.
+func crossUnitAnalyzer(name string) bool {
+	return name == "lockorder" || name == "escape"
 }

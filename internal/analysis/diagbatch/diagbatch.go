@@ -37,7 +37,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Annot.HotFuncs(func(fd *ast.FuncDecl) {
+	pass.HotFuncs(func(fd *ast.FuncDecl, chain []string) {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -50,7 +50,7 @@ func run(pass *analysis.Pass) error {
 			if !isDiagPkg(pkg) || recv != "Profile" {
 				return true
 			}
-			pass.Reportf(call.Pos(),
+			pass.ReportfVia(call.Pos(), chain,
 				"per-item diag.Profile.%s in hot path; accumulate locally and flush with %sBatch outside the hot region",
 				name, name)
 			return true

@@ -2,17 +2,35 @@ package analysis
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
+// MainOptions are the standalone-mode flags cmd/fmmvet accepts in front of
+// the package patterns.
+type MainOptions struct {
+	// JSON emits one JSON object per diagnostic line instead of text.
+	JSON bool
+	// WriteEscapeBaseline regenerates escape_baseline.txt instead of
+	// diffing against it (make lint-baseline).
+	WriteEscapeBaseline bool
+	// EscapeBaseline overrides the baseline path (default
+	// escape_baseline.txt at the module root).
+	EscapeBaseline string
+}
+
 // Main is the entry point shared by cmd/fmmvet: it dispatches between the
 // `go vet -vettool` protocol (argument is a *.cfg file; also the -V=full and
-// -flags handshakes) and the standalone mode (arguments are package
-// patterns, loaded via `go list`). It returns the process exit code.
-func Main(analyzers []*Analyzer) int {
+// -flags handshakes) and the standalone whole-program mode (arguments are
+// package patterns, loaded via `go list`). globals builds the whole-program
+// analyzers for the standalone run from the parsed options — a callback so
+// the analyzer packages, which import this one, can be wired in by
+// cmd/fmmvet without an import cycle. It returns the process exit code.
+func Main(analyzers []*Analyzer, globals func(opts MainOptions, patterns []string) []*GlobalAnalyzer) int {
 	args := os.Args[1:]
 	for _, a := range args {
 		switch a {
@@ -33,17 +51,44 @@ func Main(analyzers []*Analyzer) int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return runUnit(args[0], analyzers)
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	var opts MainOptions
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-json" || a == "--json":
+			opts.JSON = true
+		case a == "-write-escape-baseline" || a == "--write-escape-baseline":
+			opts.WriteEscapeBaseline = true
+		case strings.HasPrefix(a, "-escape-baseline="):
+			opts.EscapeBaseline = strings.TrimPrefix(a, "-escape-baseline=")
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "fmmvet: unknown flag %s\n", a)
+			usage(analyzers)
+			return 1
+		default:
+			patterns = append(patterns, a)
+		}
 	}
-	return runStandalone(args, analyzers)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var gas []*GlobalAnalyzer
+	if globals != nil {
+		gas = globals(opts, patterns)
+	}
+	return runStandalone(patterns, analyzers, gas, opts)
 }
 
 func usage(analyzers []*Analyzer) {
 	fmt.Println("fmmvet: project-specific static analysis for the kifmm tree.")
 	fmt.Println()
-	fmt.Println("usage: fmmvet [packages]          standalone over go list patterns")
+	fmt.Println("usage: fmmvet [flags] [packages]  whole-program mode over go list patterns")
 	fmt.Println("       go vet -vettool=$(which fmmvet) ./...   as a vet tool")
+	fmt.Println()
+	fmt.Println("flags:")
+	fmt.Println("  -json                    one JSON object per diagnostic (file, line, analyzer, chain, message)")
+	fmt.Println("  -write-escape-baseline   regenerate escape_baseline.txt from the current compiler output")
+	fmt.Println("  -escape-baseline=PATH    baseline location (default escape_baseline.txt at the module root)")
 	fmt.Println()
 	fmt.Println("analyzers:")
 	for _, a := range analyzers {
@@ -53,27 +98,93 @@ func usage(analyzers []*Analyzer) {
 		}
 		fmt.Printf("  %-10s %s\n", a.Name, doc)
 	}
+	fmt.Println("  lockorder  reports lock-acquisition-order cycles (potential deadlocks); whole-program")
+	fmt.Println("  escape     diffs compiler escape/inlining decisions in hot paths against escape_baseline.txt")
 }
 
-func runStandalone(patterns []string, analyzers []*Analyzer) int {
+func runStandalone(patterns []string, analyzers []*Analyzer, globals []*GlobalAnalyzer, opts MainOptions) int {
 	pkgs, err := Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fmmvet:", err)
 		return 1
 	}
+	diags, err := RunWholeProgram(pkgs, analyzers, globals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fmmvet:", err)
+		return 1
+	}
+	if len(pkgs) == 0 {
+		return 0
+	}
+	fset := pkgs[0].Fset
 	exit := 0
-	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fmmvet:", err)
-			return 1
-		}
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			exit = 1
+	for _, d := range diags {
+		exit = 1
+		if opts.JSON {
+			var file string
+			var line, col int
+			if d.PosStr != "" {
+				file, line, col = SplitPosStr(d.PosStr)
+			} else {
+				p := fset.Position(d.Pos)
+				file, line, col = p.Filename, p.Line, p.Column
+			}
+			fmt.Println(jsonLine(file, line, col, d))
+		} else {
+			fmt.Fprintln(os.Stderr, Render(fset, d))
 		}
 	}
 	return exit
+}
+
+// jsonDiag is the -json output schema: one object per line.
+type jsonDiag struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col,omitempty"`
+	Analyzer string   `json:"analyzer"`
+	Chain    []string `json:"chain,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// jsonLine renders one diagnostic as a JSON object.
+func jsonLine(posFile string, posLine, posCol int, d Diagnostic) string {
+	jd := jsonDiag{
+		File:     posFile,
+		Line:     posLine,
+		Col:      posCol,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+	if len(d.Chain) > 1 {
+		jd.Chain = d.Chain
+	}
+	b, err := json.Marshal(jd)
+	if err != nil {
+		return fmt.Sprintf(`{"analyzer":%q,"message":%q}`, d.Analyzer, d.Message)
+	}
+	return string(b)
+}
+
+// SplitPosStr parses a rendered "file:line:col" (or "file:line") position.
+func SplitPosStr(s string) (file string, line, col int) {
+	file = s
+	// Trailing :col.
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			col = n
+			file = file[:i]
+		}
+	}
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			line = n
+			file = file[:i]
+			return file, line, col
+		}
+	}
+	// Only one numeric suffix: it was the line, not the column.
+	return file, col, 0
 }
 
 func executableChecksum() string {

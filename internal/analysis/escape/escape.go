@@ -1,0 +1,297 @@
+// Package escape checks the compiler's escape-analysis and inlining
+// decisions for hot-path functions against a checked-in baseline.
+//
+// The static analyzers (hotalloc) catch allocation *constructs* — make,
+// append, boxing — but the final word on whether a value reaches the heap
+// belongs to the compiler's escape analysis, and whether a leaf kernel stays
+// cheap depends on it staying inlinable. Both properties regress silently:
+// a new parameter that causes a slice to escape, or a function growing past
+// the inlining budget, changes no test output. This analyzer makes the
+// compiler's verdict part of lint:
+//
+//  1. Run `go build -gcflags=-m=1 <patterns>` (the build cache replays the
+//     diagnostics on cache hits, so repeated runs are cheap).
+//  2. Parse the "escapes to heap" / "moved to heap" / "can inline" lines and
+//     keep those whose position falls inside a function of the //fmm:hotpath
+//     closure (direct or propagated — the same closure the body analyzers
+//     use).
+//  3. Compare against escape_baseline.txt: a heap escape not in the baseline,
+//     or a baseline "can inline" the compiler no longer grants, fails lint
+//     with a pointer to `make lint-baseline`. Escapes that disappear are
+//     improvements and never fail.
+//
+// Baseline keys are function-plus-message (no line numbers), so moving code
+// around does not churn the file; duplicate messages within one function are
+// kept once per occurrence. The baseline header records the toolchain; when
+// it differs from the running toolchain the diff is skipped with a notice,
+// since escape decisions change between compiler releases.
+package escape
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kifmm/internal/analysis"
+)
+
+// Config parameterizes the analyzer (set from fmmvet's flags).
+type Config struct {
+	// BaselinePath is the baseline file; relative paths resolve against the
+	// module root.
+	BaselinePath string
+	// Write regenerates the baseline instead of diffing against it.
+	Write bool
+	// Patterns are the package patterns to build (the driver's arguments).
+	Patterns []string
+}
+
+// DefaultBaseline is the baseline filename at the module root.
+const DefaultBaseline = "escape_baseline.txt"
+
+// New returns the escape analyzer for one configuration.
+func New(cfg Config) *analysis.GlobalAnalyzer {
+	return &analysis.GlobalAnalyzer{
+		Name: "escape",
+		Doc:  "diffs compiler escape/inlining decisions in hot-path functions against escape_baseline.txt",
+		Run:  func(p *analysis.GlobalPass) error { return run(p, cfg) },
+	}
+}
+
+// entry is one observation attributed to a hot function.
+type entry struct {
+	Func analysis.FuncID
+	Msg  string // "make([]float64, n) escapes to heap" or "can inline"
+}
+
+func (e entry) key() string { return string(e.Func) + "\t" + e.Msg }
+
+const inlineMsg = "can inline"
+
+func run(p *analysis.GlobalPass, cfg Config) error {
+	if cfg.BaselinePath == "" {
+		cfg.BaselinePath = DefaultBaseline
+	}
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	path := cfg.BaselinePath
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+
+	raw, err := compilerDiagnostics(cfg.Patterns)
+	if err != nil {
+		return err
+	}
+	current := hotEntries(p, raw)
+
+	if cfg.Write {
+		return writeBaseline(path, current)
+	}
+
+	baseline, version, err := readBaseline(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			p.ReportAt(cfg.BaselinePath, "escape baseline missing: run `make lint-baseline` to create %s", cfg.BaselinePath)
+			return nil
+		}
+		return err
+	}
+	if version != toolchainID() {
+		fmt.Fprintf(os.Stderr, "fmmvet: escape baseline recorded for %q, running %q; skipping escape diff (regenerate with make lint-baseline)\n",
+			version, toolchainID())
+		return nil
+	}
+
+	cur := countByKey(current)
+	base := countByKey(baseline)
+	keys := make([]string, 0, len(cur)+len(base))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn, msg, _ := strings.Cut(k, "\t")
+		switch {
+		case msg == inlineMsg:
+			if base[k] > 0 && cur[k] == 0 {
+				p.ReportAt(posOfFunc(p, analysis.FuncID(fn)),
+					"hot-path function %s is no longer inlinable (baseline says it was); shrink it or run `make lint-baseline` if intentional", fn)
+			}
+		case cur[k] > base[k]:
+			p.ReportAt(posOfFunc(p, analysis.FuncID(fn)),
+				"new heap escape in hot-path function %s: %q (%d, baseline %d); keep the value on the stack or run `make lint-baseline` if intentional",
+				fn, msg, cur[k], base[k])
+		}
+	}
+	return nil
+}
+
+// compilerDiagnostics builds the patterns with -gcflags=-m=1 and returns the
+// parsed (file, line, message) triples, positions absolute.
+func compilerDiagnostics(patterns []string) ([]posMsg, error) {
+	args := append([]string{"build", "-gcflags=-m=1"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out strings.Builder
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=1: %v\n%s", err, out.String())
+	}
+	var diags []posMsg
+	for _, line := range strings.Split(out.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pm, ok := parsePosMsg(line)
+		if !ok {
+			continue
+		}
+		diags = append(diags, pm)
+	}
+	return diags, nil
+}
+
+type posMsg struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// parsePosMsg splits "file.go:line:col: message".
+func parsePosMsg(s string) (posMsg, bool) {
+	i := strings.Index(s, ".go:")
+	if i < 0 {
+		return posMsg{}, false
+	}
+	file := s[:i+3]
+	rest := s[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) < 3 {
+		return posMsg{}, false
+	}
+	line, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return posMsg{}, false
+	}
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		abs = file
+	}
+	return posMsg{File: abs, Line: line, Msg: strings.TrimSpace(parts[2])}, true
+}
+
+// hotEntries keeps the escape/inline observations that land in hot-closure
+// functions.
+func hotEntries(p *analysis.GlobalPass, diags []posMsg) []entry {
+	var out []entry
+	for _, d := range diags {
+		interesting := strings.Contains(d.Msg, "escapes to heap") ||
+			strings.HasPrefix(d.Msg, "moved to heap:")
+		inline := strings.HasPrefix(d.Msg, "can inline ")
+		if !interesting && !inline {
+			continue
+		}
+		id, ok := p.FuncAt(d.File, d.Line)
+		if !ok {
+			continue
+		}
+		if _, hot := p.Prop.Hot[id]; !hot {
+			continue
+		}
+		if inline {
+			out = append(out, entry{Func: id, Msg: inlineMsg})
+			continue
+		}
+		out = append(out, entry{Func: id, Msg: d.Msg})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+func countByKey(entries []entry) map[string]int {
+	m := make(map[string]int, len(entries))
+	for _, e := range entries {
+		m[e.key()]++
+	}
+	return m
+}
+
+// posOfFunc renders the declaration position of a hot function for the
+// diagnostic anchor.
+func posOfFunc(p *analysis.GlobalPass, id analysis.FuncID) string {
+	if n, ok := p.Graph.Nodes[id]; ok && n.PosStr != "" {
+		return n.PosStr
+	}
+	return string(id)
+}
+
+func toolchainID() string {
+	return runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+}
+
+const baselineHeader = "# fmmvet escape baseline: compiler escape/inlining decisions inside the\n# //fmm:hotpath closure. Regenerate with `make lint-baseline`.\n"
+
+func writeBaseline(path string, entries []entry) error {
+	var sb strings.Builder
+	sb.WriteString(baselineHeader)
+	sb.WriteString("# toolchain: " + toolchainID() + "\n")
+	for _, e := range entries {
+		sb.WriteString(e.key() + "\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func readBaseline(path string) (entries []entry, toolchain string, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if v, ok := strings.CutPrefix(line, "# toolchain: "); ok {
+			toolchain = v
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fn, msg, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry{Func: analysis.FuncID(fn), Msg: msg})
+	}
+	return entries, toolchain, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

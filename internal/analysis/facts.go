@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file implements cross-package propagation under the `go vet` unit
+// protocol. Each compilation unit sees only its own source plus its
+// dependencies' export data, so the whole-program closure is reconstructed
+// incrementally: every unit exports *cumulative facts* — its call-graph
+// nodes merged with everything its dependencies exported — through the
+// protocol's vetx files, and each unit reports exactly the diagnostics that
+// become decidable at its level:
+//
+//   - Body diagnostics of local functions in (direct or propagated) scope.
+//   - "Conditional" diagnostics of dependency functions that become
+//     reachable only through this unit's annotations: each unit runs the
+//     body analyzers over *every* local function (forced scope), stores the
+//     allow-filtered findings in its facts, and a downstream unit that pulls
+//     a function into the hot/deterministic closure replays them, prefixed
+//     with the propagation chain. The Closed sets record which functions
+//     have already reported, so nothing fires twice.
+//   - Lock-order cycles whose edges first close at this unit (Cycles records
+//     handled cycle keys).
+//
+// Interface dispatch needs type identity across units, which facts cannot
+// carry directly; instead the facts name every collected named type and
+// interface method, and each importing unit re-resolves them against its
+// own typechecker universe (resolveUniverse) before linking. A name that no
+// longer resolves is skipped — its implementations are unreachable from this
+// unit anyway. The escape analyzer is absent here by design: it shells out
+// to `go build`, which the vet protocol must not do; `make lint` runs the
+// standalone whole-program mode alongside `go vet` to cover it.
+
+// condFact is one stored conditional diagnostic: what an analyzer would
+// report in a function were it in scope.
+type condFact struct {
+	Analyzer string
+	PosStr   string
+	Message  string
+}
+
+// funcFact is one call-graph node as serialized into facts.
+type funcFact struct {
+	ShortName string
+	PkgPath   string
+	PosStr    string
+	Hot       bool       `json:",omitempty"`
+	Det       bool       `json:",omitempty"`
+	Cold      bool       `json:",omitempty"`
+	Iface     bool       `json:",omitempty"`
+	Edges     []CallEdge `json:",omitempty"`
+	Locks     []LockOp   `json:",omitempty"`
+	Cond      []condFact `json:",omitempty"`
+}
+
+// factsFile is the cumulative payload written to each unit's vetx output.
+type factsFile struct {
+	Funcs      map[FuncID]*funcFact
+	Named      []string `json:",omitempty"` // qualified named types ("pkgpath.Name")
+	Ifaces     []FuncID `json:",omitempty"` // synthetic interface-method nodes
+	ClosedHot  []FuncID `json:",omitempty"` // already-reported hot closure
+	ClosedDet  []FuncID `json:",omitempty"`
+	Cycles     []string `json:",omitempty"` // handled lock-cycle keys
+	LockAllows []string `json:",omitempty"` // "file:line" //fmm:allow lockorder sites
+}
+
+// scopeKind classifies how an analyzer's scope propagates: through the
+// //fmm:hotpath closure, the //fmm:deterministic closure, or not at all
+// (locksafe runs everywhere and reports locally).
+func scopeKind(name string) string {
+	switch name {
+	case "hotalloc", "diagbatch":
+		return "hot"
+	case "mapiter", "nodeterm":
+		return "det"
+	}
+	return "all"
+}
+
+// mergedFacts accumulates every dependency's facts.
+type mergedFacts struct {
+	funcs      map[FuncID]*funcFact
+	named      map[string]bool
+	ifaces     map[FuncID]bool
+	closedHot  map[FuncID]bool
+	closedDet  map[FuncID]bool
+	cycles     map[string]bool
+	lockAllows map[string]bool
+}
+
+func newMergedFacts() *mergedFacts {
+	return &mergedFacts{
+		funcs:      make(map[FuncID]*funcFact),
+		named:      make(map[string]bool),
+		ifaces:     make(map[FuncID]bool),
+		closedHot:  make(map[FuncID]bool),
+		closedDet:  make(map[FuncID]bool),
+		cycles:     make(map[string]bool),
+		lockAllows: make(map[string]bool),
+	}
+}
+
+// loadDepFacts reads and merges the vetx files of every dependency. Facts
+// are cumulative, so overlapping entries from different dependents are
+// identical; empty or absent files (from before this scheme, or other
+// tools) are skipped silently.
+func loadDepFacts(packageVetx map[string]string) (*mergedFacts, error) {
+	m := newMergedFacts()
+	paths := make([]string, 0, len(packageVetx))
+	for p := range packageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		b, err := os.ReadFile(packageVetx[p])
+		if err != nil || len(b) == 0 {
+			continue
+		}
+		var ff factsFile
+		if err := json.Unmarshal(b, &ff); err != nil {
+			continue // foreign or stale payload; treat as absent
+		}
+		for id, fn := range ff.Funcs {
+			if _, ok := m.funcs[id]; !ok {
+				m.funcs[id] = fn
+			}
+		}
+		for _, n := range ff.Named {
+			m.named[n] = true
+		}
+		for _, id := range ff.Ifaces {
+			m.ifaces[id] = true
+		}
+		for _, id := range ff.ClosedHot {
+			m.closedHot[id] = true
+		}
+		for _, id := range ff.ClosedDet {
+			m.closedDet[id] = true
+		}
+		for _, k := range ff.Cycles {
+			m.cycles[k] = true
+		}
+		for _, s := range ff.LockAllows {
+			m.lockAllows[s] = true
+		}
+	}
+	return m, nil
+}
+
+// graftFacts adds the merged dependency nodes into the local graph and
+// re-resolves named types and interface methods against the unit's type
+// universe so Link can connect cross-package implementations.
+func graftFacts(g *Graph, m *mergedFacts, tp *types.Package) {
+	ids := make([]FuncID, 0, len(m.funcs))
+	for id := range m.funcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, ok := g.Nodes[id]; ok {
+			continue // local declaration wins
+		}
+		ff := m.funcs[id]
+		n := g.node(id)
+		n.ShortName = ff.ShortName
+		n.PkgPath = ff.PkgPath
+		n.PosStr = ff.PosStr
+		n.HotDirect = ff.Hot
+		n.DetDirect = ff.Det
+		n.Cold = ff.Cold
+		n.Iface = ff.Iface
+		n.Edges = ff.Edges
+		n.Locks = ff.Locks
+	}
+	universe := resolveUniverse(tp)
+	names := make([]string, 0, len(m.named))
+	for n := range m.named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, qual := range names {
+		if named := resolveNamed(universe, qual); named != nil {
+			g.AddNamedType(named)
+		}
+	}
+	ifaceIDs := make([]FuncID, 0, len(m.ifaces))
+	for id := range m.ifaces {
+		ifaceIDs = append(ifaceIDs, id)
+	}
+	sort.Slice(ifaceIDs, func(i, j int) bool { return ifaceIDs[i] < ifaceIDs[j] })
+	for _, id := range ifaceIDs {
+		if f := resolveIfaceMethod(universe, id); f != nil {
+			g.AddIfaceMethod(f)
+		}
+	}
+}
+
+// resolveUniverse maps import paths to packages transitively reachable from
+// tp (what this unit's export data can name).
+func resolveUniverse(tp *types.Package) map[string]*types.Package {
+	out := make(map[string]*types.Package)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if _, ok := out[p.Path()]; ok {
+			return
+		}
+		out[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(tp)
+	return out
+}
+
+// resolveNamed looks up a qualified type name ("pkgpath.Name") in the
+// universe.
+func resolveNamed(universe map[string]*types.Package, qual string) *types.Named {
+	i := strings.LastIndexByte(qual, '.')
+	if i < 0 {
+		return nil
+	}
+	pkg, ok := universe[qual[:i]]
+	if !ok {
+		return nil
+	}
+	tn, ok := pkg.Scope().Lookup(qual[i+1:]).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := tn.Type().(*types.Named)
+	return named
+}
+
+// resolveIfaceMethod looks up a "(pkgpath.Iface).Method" FuncID in the
+// universe, returning the interface's *types.Func.
+func resolveIfaceMethod(universe map[string]*types.Package, id FuncID) *types.Func {
+	s := string(id)
+	if !strings.HasPrefix(s, "(") {
+		return nil
+	}
+	close := strings.LastIndexByte(s, ')')
+	if close < 0 || close+2 > len(s) || s[close+1] != '.' {
+		return nil
+	}
+	named := resolveNamed(universe, s[1:close])
+	if named == nil {
+		return nil
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	name := s[close+2:]
+	for i := 0; i < iface.NumMethods(); i++ {
+		if m := iface.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// exportFacts serializes the post-propagation graph (local and grafted
+// nodes), the local conditional diagnostics, and the cumulative bookkeeping
+// sets.
+func exportFacts(path string, g *Graph, m *mergedFacts, prop *Propagation,
+	localCond map[FuncID][]condFact, handledCycles []string, localLockAllows []string) error {
+	ff := factsFile{Funcs: make(map[FuncID]*funcFact, len(g.Nodes))}
+	for id, n := range g.Nodes {
+		fn := &funcFact{
+			ShortName: n.ShortName,
+			PkgPath:   n.PkgPath,
+			PosStr:    n.PosStr,
+			Hot:       n.HotDirect,
+			Det:       n.DetDirect,
+			Cold:      n.Cold,
+			Iface:     n.Iface,
+			Edges:     dedupEdges(n.Edges),
+			Locks:     n.Locks,
+		}
+		if dep, ok := m.funcs[id]; ok {
+			fn.Cond = dep.Cond
+		}
+		if cond, ok := localCond[id]; ok {
+			fn.Cond = cond
+		}
+		ff.Funcs[id] = fn
+	}
+	named := make(map[string]bool, len(m.named))
+	for n := range m.named {
+		named[n] = true
+	}
+	for _, n := range g.NamedTypeKeys() {
+		named[n] = true
+	}
+	ff.Named = sortedKeys(named)
+	ifaces := make(map[FuncID]bool, len(m.ifaces))
+	for id := range m.ifaces {
+		ifaces[id] = true
+	}
+	for _, id := range g.IfaceMethodIDs() {
+		ifaces[id] = true
+	}
+	ff.Ifaces = sortedIDs(ifaces)
+	closedHot := make(map[FuncID]bool, len(prop.Hot))
+	for id := range m.closedHot {
+		closedHot[id] = true
+	}
+	for id := range prop.Hot {
+		closedHot[id] = true
+	}
+	ff.ClosedHot = sortedIDs(closedHot)
+	closedDet := make(map[FuncID]bool, len(prop.Det))
+	for id := range m.closedDet {
+		closedDet[id] = true
+	}
+	for id := range prop.Det {
+		closedDet[id] = true
+	}
+	ff.ClosedDet = sortedIDs(closedDet)
+	cycles := make(map[string]bool, len(m.cycles))
+	for k := range m.cycles {
+		cycles[k] = true
+	}
+	for _, k := range handledCycles {
+		cycles[k] = true
+	}
+	ff.Cycles = sortedKeys(cycles)
+	lockAllows := make(map[string]bool, len(m.lockAllows))
+	for s := range m.lockAllows {
+		lockAllows[s] = true
+	}
+	for _, s := range localLockAllows {
+		lockAllows[s] = true
+	}
+	ff.LockAllows = sortedKeys(lockAllows)
+
+	b, err := json.Marshal(&ff)
+	if err != nil {
+		return fmt.Errorf("marshal facts: %v", err)
+	}
+	return os.WriteFile(path, b, 0o666)
+}
+
+// dedupEdges drops duplicate edges (re-linking across units can repeat
+// interface→implementation edges).
+func dedupEdges(edges []CallEdge) []CallEdge {
+	seen := make(map[string]bool, len(edges))
+	out := edges[:0:0]
+	for _, e := range edges {
+		k := string(e.Callee) + "|" + e.PosStr + "|" + fmt.Sprint(e.Seq, e.Cold)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIDs(m map[FuncID]bool) []FuncID {
+	out := make([]FuncID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

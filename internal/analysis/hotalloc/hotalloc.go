@@ -14,6 +14,8 @@
 //   - conversions to slice, map, or between string and byte/rune slices
 //   - implicit interface boxing: a concrete value passed to an
 //     interface-typed parameter or assigned to an interface variable
+//     (pointer-shaped values — pointers, chans, maps, funcs — are exempt:
+//     they live directly in the interface word and boxing them is free)
 //   - fmt.* calls (allocate via ...any boxing and internal buffers)
 //   - go statements (goroutine spawn)
 //   - string concatenation
@@ -39,36 +41,44 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Annot.HotFuncs(func(fd *ast.FuncDecl) {
+	pass.HotFuncs(func(fd *ast.FuncDecl, chain []string) {
 		info := pass.TypesInfo
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch e := n.(type) {
 			case *ast.CallExpr:
-				checkCall(pass, e)
+				if isPanic(info, e) {
+					// The crash path is definitionally cold: allocations
+					// evaluated only to build a panic message are noise.
+					return false
+				}
+				checkCall(pass, chain, e)
 			case *ast.UnaryExpr:
 				if e.Op == token.AND {
 					if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); isLit {
-						pass.Reportf(e.Pos(), "escaping composite literal (&T{...}) in hot path")
+						pass.ReportfVia(e.Pos(), chain, "escaping composite literal (&T{...}) in hot path")
 					}
 				}
 			case *ast.CompositeLit:
 				switch info.TypeOf(e).Underlying().(type) {
 				case *types.Slice:
-					pass.Reportf(e.Pos(), "slice literal allocates in hot path")
+					pass.ReportfVia(e.Pos(), chain, "slice literal allocates in hot path")
 				case *types.Map:
-					pass.Reportf(e.Pos(), "map literal allocates in hot path")
+					pass.ReportfVia(e.Pos(), chain, "map literal allocates in hot path")
 				}
 			case *ast.FuncLit:
-				pass.Reportf(e.Pos(), "closure (func literal) allocates in hot path")
-				return false // its body is not part of the annotated hot code
+				pass.ReportfVia(e.Pos(), chain, "closure (func literal) allocates in hot path")
+				// The body still runs in (and inherits) the enclosing hot
+				// scope — par.ForW/sched.AddW execute it per item — so its
+				// allocations are checked too.
+				return true
 			case *ast.GoStmt:
-				pass.Reportf(e.Pos(), "goroutine spawn in hot path")
+				pass.ReportfVia(e.Pos(), chain, "goroutine spawn in hot path")
 			case *ast.BinaryExpr:
 				if e.Op == token.ADD && isString(info.TypeOf(e)) {
-					pass.Reportf(e.Pos(), "string concatenation allocates in hot path")
+					pass.ReportfVia(e.Pos(), chain, "string concatenation allocates in hot path")
 				}
 			case *ast.AssignStmt:
-				checkAssignBoxing(pass, e)
+				checkAssignBoxing(pass, chain, e)
 			}
 			return true
 		})
@@ -76,7 +86,17 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+// isPanic matches a call to the builtin panic.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func checkCall(pass *analysis.Pass, chain []string, call *ast.CallExpr) {
 	info := pass.TypesInfo
 	// Type conversions.
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
@@ -85,11 +105,11 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		switch to.Underlying().(type) {
 		case *types.Slice, *types.Map:
 			if from == nil || !types.Identical(from.Underlying(), to.Underlying()) {
-				pass.Reportf(call.Pos(), "conversion to %s allocates in hot path", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+				pass.ReportfVia(call.Pos(), chain, "conversion to %s allocates in hot path", types.TypeString(to, types.RelativeTo(pass.Pkg)))
 			}
 		}
 		if isString(to) && from != nil && !isString(from) && !isUntypedConst(from) {
-			pass.Reportf(call.Pos(), "conversion to string allocates in hot path")
+			pass.ReportfVia(call.Pos(), chain, "conversion to string allocates in hot path")
 		}
 		return
 	}
@@ -98,18 +118,18 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 		if b, isB := info.Uses[id].(*types.Builtin); isB {
 			switch b.Name() {
 			case "make":
-				pass.Reportf(call.Pos(), "make allocates in hot path")
+				pass.ReportfVia(call.Pos(), chain, "make allocates in hot path")
 			case "new":
-				pass.Reportf(call.Pos(), "new allocates in hot path")
+				pass.ReportfVia(call.Pos(), chain, "new allocates in hot path")
 			case "append":
-				pass.Reportf(call.Pos(), "append may grow its backing array in hot path")
+				pass.ReportfVia(call.Pos(), chain, "append may grow its backing array in hot path")
 			}
 			return
 		}
 	}
 	// fmt calls.
 	if pkg, name, _, ok := analysis.PkgFunc(info, call); ok && pkg == "fmt" {
-		pass.Reportf(call.Pos(), "fmt.%s call in hot path (boxing + buffer allocation)", name)
+		pass.ReportfVia(call.Pos(), chain, "fmt.%s call in hot path (boxing + buffer allocation)", name)
 		return
 	}
 	// Interface boxing at call boundaries.
@@ -129,13 +149,13 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 			continue
 		}
 		if boxes(info, pt, arg) {
-			pass.Reportf(arg.Pos(), "argument boxed into interface %s in hot path",
+			pass.ReportfVia(arg.Pos(), chain, "argument boxed into interface %s in hot path",
 				types.TypeString(pt, types.RelativeTo(pass.Pkg)))
 		}
 	}
 }
 
-func checkAssignBoxing(pass *analysis.Pass, s *ast.AssignStmt) {
+func checkAssignBoxing(pass *analysis.Pass, chain []string, s *ast.AssignStmt) {
 	if len(s.Lhs) != len(s.Rhs) {
 		return
 	}
@@ -158,14 +178,18 @@ func checkAssignBoxing(pass *analysis.Pass, s *ast.AssignStmt) {
 			continue
 		}
 		if boxes(info, lt, s.Rhs[i]) {
-			pass.Reportf(s.Rhs[i].Pos(), "value boxed into interface %s in hot path",
+			pass.ReportfVia(s.Rhs[i].Pos(), chain, "value boxed into interface %s in hot path",
 				types.TypeString(lt, types.RelativeTo(pass.Pkg)))
 		}
 	}
 }
 
 // boxes reports whether assigning expr to a destination of type dst performs
-// an interface conversion of a concrete value.
+// an interface conversion that allocates. Pointer-shaped values (pointers,
+// channels, maps, funcs, unsafe.Pointer, and single-field wrappers of
+// these) are stored directly in the interface data word — gc's direct
+// interface representation — so boxing them is free; flagging sync.Pool
+// Get/Put of *[]T scratch pointers would only breed allows.
 func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
 	if dst == nil || !types.IsInterface(dst) {
 		return false
@@ -177,7 +201,24 @@ func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
 	if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
 		return false
 	}
-	return true
+	return !pointerShaped(at)
+}
+
+// pointerShaped reports whether t is represented as a single pointer word,
+// matching the gc compiler's direct-interface ("pointer-shaped") rule:
+// such values are placed in the interface word without a heap copy.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 1 && pointerShaped(u.Field(0).Type())
+	case *types.Array:
+		return u.Len() == 1 && pointerShaped(u.Elem())
+	}
+	return false
 }
 
 func isString(t types.Type) bool {

@@ -58,6 +58,23 @@ func Boxing(n int) {
 	_ = a
 }
 
+// PointerShaped passes pointer-shaped values to interface parameters:
+// pointers, chans, maps, and funcs live directly in the interface word, so
+// boxing them is free and not flagged. A slice is three words and still
+// allocates when boxed.
+//
+//fmm:hotpath
+func PointerShaped(p *[]float64, ch chan int, m map[int]int, fn func(), s []float64) {
+	takeAny(p)
+	takeAny(ch)
+	takeAny(m)
+	takeAny(fn)
+	var a any
+	a = p
+	_ = a
+	takeAny(s) // want `argument boxed into interface any in hot path`
+}
+
 // Fmt calls allocate; one diagnostic per call.
 //
 //fmm:hotpath

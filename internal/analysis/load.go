@@ -28,10 +28,12 @@ type listPkg struct {
 
 // Load resolves the package patterns with `go list -json -deps`, parses and
 // typechecks every in-module package from source (standard-library imports
-// come from the toolchain's export data), and returns the root (non-dep)
-// packages ready for RunAnalyzers. This is the standalone driver used when
-// fmmvet runs without the `go vet` harness; GoFiles excludes test files, so
-// standalone runs analyze exactly the shipped code.
+// come from the toolchain's export data), and returns all of them — the
+// named roots plus their in-module dependencies, the latter marked DepOnly —
+// so the whole-program driver sees one consistent program. This is the
+// standalone path used when fmmvet runs without the `go vet` harness;
+// GoFiles excludes test files, so standalone runs analyze exactly the
+// shipped code.
 func Load(patterns []string) ([]*PackageInfo, error) {
 	args := append([]string{"list", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -93,15 +95,14 @@ func Load(patterns []string) ([]*PackageInfo, error) {
 			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 		}
 		loaded[p.ImportPath] = tp
-		if !p.DepOnly {
-			roots = append(roots, &PackageInfo{
-				Path:  p.ImportPath,
-				Fset:  fset,
-				Files: files,
-				Types: tp,
-				Info:  info,
-			})
-		}
+		roots = append(roots, &PackageInfo{
+			Path:    p.ImportPath,
+			Fset:    fset,
+			Files:   files,
+			Types:   tp,
+			Info:    info,
+			DepOnly: p.DepOnly,
+		})
 	}
 	return roots, nil
 }

@@ -1,0 +1,57 @@
+// Package lockorder detects potential deadlocks from inconsistent lock
+// acquisition order.
+//
+// The call-graph collection pass (analysis.Graph) records, per function, the
+// sequence of Lock/Unlock operations on identifiable mutexes — struct fields
+// ("pkg.Type.field") and package-level variables ("pkg.var") — plus every
+// call edge, in source order. A held-set scan over each function then yields
+// global ordering observations: acquiring B while holding A orders A before
+// B, and calling f while holding A orders A before everything f may
+// transitively acquire (Graph.MayAcquire). Deferred Unlocks hold until
+// function exit and never shrink the held set.
+//
+// A cycle in the resulting lock-order graph means two executions can block
+// on each other's next acquisition: the classic AB/BA deadlock, or a longer
+// chain. Each cycle is reported once with one witness per edge — the code
+// location where that ordering was observed — so both (all) paths of the
+// deadlock are visible in the diagnostic.
+//
+// Locks held in local variables or reached through pointers with no stable
+// field identity are outside the model (DESIGN.md §7.9). Suppression uses
+// //fmm:allow lockorder <reason> on any witness line of the cycle; such
+// allows are exempt from unused-allow reporting because cycle existence is
+// not decidable package-locally.
+package lockorder
+
+import (
+	"fmt"
+
+	"kifmm/internal/analysis"
+)
+
+// Analyzer reports lock-order cycles over the whole program.
+var Analyzer = &analysis.GlobalAnalyzer{
+	Name: "lockorder",
+	Doc:  "reports lock-acquisition-order cycles (potential deadlocks) with a witness per edge",
+	Run:  run,
+}
+
+func run(p *analysis.GlobalPass) error {
+	cycles := p.Graph.LockCycles()
+	if len(cycles) == 0 {
+		return nil
+	}
+	allowed := make(map[string]bool)
+	for _, an := range p.Annots {
+		for _, s := range an.AllowSites("lockorder") {
+			allowed[fmt.Sprintf("%s:%d", s.File, s.Line)] = true
+		}
+	}
+	for _, c := range cycles {
+		if analysis.LockCycleAllowed(c, allowed) {
+			continue
+		}
+		p.ReportAt(analysis.LockWitnessPos(c.Witnesses[0]), "%s", analysis.RenderLockCycle(c))
+	}
+	return nil
+}

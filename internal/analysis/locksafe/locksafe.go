@@ -49,43 +49,10 @@ func run(pass *analysis.Pass) error {
 
 // ---- copylock ----
 
-var lockTypes = map[string]bool{
-	"sync.Mutex":     true,
-	"sync.RWMutex":   true,
-	"sync.WaitGroup": true,
-	"sync.Cond":      true,
-	"sync.Once":      true,
-	"sync.Pool":      true,
-	"sync.Map":       true,
-}
-
 // containsLock reports whether t (held by value) embeds synchronization
-// state that must not be copied.
+// state that must not be copied (shared with lockorder via the driver).
 func containsLock(t types.Type) bool {
-	return lockIn(t, make(map[types.Type]bool))
-}
-
-func lockIn(t types.Type, seen map[types.Type]bool) bool {
-	if t == nil || seen[t] {
-		return false
-	}
-	seen[t] = true
-	if n, ok := t.(*types.Named); ok {
-		if obj := n.Obj(); obj.Pkg() != nil && lockTypes[obj.Pkg().Path()+"."+obj.Name()] {
-			return true
-		}
-	}
-	switch u := t.Underlying().(type) {
-	case *types.Struct:
-		for i := 0; i < u.NumFields(); i++ {
-			if lockIn(u.Field(i).Type(), seen) {
-				return true
-			}
-		}
-	case *types.Array:
-		return lockIn(u.Elem(), seen)
-	}
-	return false
+	return analysis.ContainsLock(t)
 }
 
 func lockName(t types.Type) string {

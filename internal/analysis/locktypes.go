@@ -1,0 +1,44 @@
+package analysis
+
+import "go/types"
+
+// LockTypes is the set of sync primitives that must not be copied and whose
+// Lock/Unlock pairs the locksafe and lockorder analyzers track.
+var LockTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Cond":      true,
+	"sync.Once":      true,
+	"sync.Pool":      true,
+	"sync.Map":       true,
+}
+
+// ContainsLock reports whether t (held by value) embeds synchronization
+// state, directly or through struct/array nesting.
+func ContainsLock(t types.Type) bool {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil && LockTypes[obj.Pkg().Path()+"."+obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockIn(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return false
+}

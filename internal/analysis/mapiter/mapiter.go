@@ -33,7 +33,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Annot.DetFuncs(func(fd *ast.FuncDecl) {
+	pass.DetFuncs(func(fd *ast.FuncDecl, chain []string) {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
@@ -49,7 +49,7 @@ func run(pass *analysis.Pass) error {
 			if sortedCollect(pass, fd, rs) {
 				return true
 			}
-			pass.Reportf(rs.Pos(),
+			pass.ReportfVia(rs.Pos(), chain,
 				"range over map in deterministic scope (%s); iterate sorted keys or add //fmm:allow mapiter <reason>",
 				fd.Name.Name)
 			return true

@@ -50,7 +50,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	pass.Annot.DetFuncs(func(fd *ast.FuncDecl) {
+	pass.DetFuncs(func(fd *ast.FuncDecl, chain []string) {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -61,12 +61,12 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			if pkg == "math/rand" || pkg == "math/rand/v2" {
-				pass.Reportf(call.Pos(),
+				pass.ReportfVia(call.Pos(), chain,
 					"%s.%s in deterministic scope; thread an explicit seeded source through the plan instead", pkg, name)
 				return true
 			}
 			if banned[pkg][name] {
-				pass.Reportf(call.Pos(),
+				pass.ReportfVia(call.Pos(), chain,
 					"%s.%s in deterministic scope; results must not depend on wall clock or machine shape", pkg, name)
 			}
 			return true

@@ -1,0 +1,33 @@
+// Package lockcycle is the lock-order positive fixture: AB in one function,
+// BA in another — the classic deadlock pair, observed through field-mutex
+// identities.
+package lockcycle
+
+import "sync"
+
+type state struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	na int
+	nb int
+}
+
+// IncBoth takes a before b.
+func (s *state) IncBoth() {
+	s.a.Lock()
+	s.b.Lock() // want `potential deadlock: lock-order cycle`
+	s.na++
+	s.nb++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// IncBothReversed takes b before a.
+func (s *state) IncBothReversed() {
+	s.b.Lock()
+	s.a.Lock()
+	s.nb++
+	s.na++
+	s.a.Unlock()
+	s.b.Unlock()
+}

@@ -1,0 +1,56 @@
+// Package lockok is the lock-order negative fixture: a consistent global
+// order (including one observed transitively through a call edge) plus one
+// deliberate cycle suppressed on a witness line.
+package lockok
+
+import "sync"
+
+type state struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	c  sync.Mutex
+	na int
+}
+
+// Ordered takes a before b, matching every other observation.
+func (s *state) Ordered() {
+	s.a.Lock()
+	s.b.Lock()
+	s.na++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// OrderedViaCall holds a while calling lockB: the a-before-b edge comes
+// from MayAcquire through the call graph and is consistent too.
+func (s *state) OrderedViaCall() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.lockB()
+}
+
+func (s *state) lockB() {
+	s.b.Lock()
+	s.na++
+	s.b.Unlock()
+}
+
+// CAfterA and AAfterC form a deliberate a/c cycle whose witness carries a
+// lockorder allow: suppressed, and the allow is exempt from unused
+// reporting.
+func (s *state) CAfterA() {
+	s.a.Lock()
+	//fmm:allow lockorder fixture: documented deliberate cycle
+	s.c.Lock()
+	s.na++
+	s.c.Unlock()
+	s.a.Unlock()
+}
+
+func (s *state) AAfterC() {
+	s.c.Lock()
+	s.a.Lock()
+	s.na++
+	s.a.Unlock()
+	s.c.Unlock()
+}

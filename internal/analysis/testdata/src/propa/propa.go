@@ -1,0 +1,99 @@
+// Package propa holds the annotated roots of the whole-program propagation
+// fixtures; the functions they reach live in propb and parstub.
+package propa
+
+import (
+	"parstub"
+	"propb"
+)
+
+var sink []float64
+
+// Drive pulls propb.Alloc into the hot closure across the package boundary.
+//
+//fmm:hotpath
+func Drive(n int) []float64 {
+	return propb.Alloc(n)
+}
+
+// DriveCold reaches propb.Cold only over a coldcall edge, so propagation
+// stops at the boundary.
+//
+//fmm:hotpath
+func DriveCold(n int) []float64 {
+	return propb.Cold(n) //fmm:coldcall fixture: deliberate slow path
+}
+
+// DriveAllowed makes propb.Allowed hot; the allow inside it fires only via
+// this propagation and must not be reported unused.
+//
+//fmm:hotpath
+func DriveAllowed(n int) []float64 {
+	return propb.Allowed(n)
+}
+
+// Reduce pulls propb.Stamp into the deterministic closure.
+//
+//fmm:deterministic
+func Reduce() int64 {
+	return propb.Stamp()
+}
+
+type hotBuilder struct{}
+
+// build becomes hot through the method value taken in DriveMethodValue.
+func (hotBuilder) build(n int) []float64 {
+	return make([]float64, n) // want `make allocates in hot path \(via DriveMethodValue → build\)`
+}
+
+type coldBuilder struct{}
+
+// build is only referenced through a coldcall-marked method value: not hot.
+func (coldBuilder) build(n int) []float64 {
+	return make([]float64, n)
+}
+
+// DriveMethodValue propagates through a method value: the function-value
+// edge to hotBuilder.build is hot, the coldcall-marked one to
+// coldBuilder.build is a barrier.
+//
+//fmm:hotpath
+func DriveMethodValue(n int) []float64 {
+	f := hotBuilder{}.build
+	g := coldBuilder{}.build //fmm:coldcall fixture: cold builder variant
+	if n < 0 {
+		return g(n)
+	}
+	return f(n)
+}
+
+// DrivePar runs a closure through parstub.ForW: the closure body inherits
+// the enclosing hot scope even though ForW lives in another package.
+//
+//fmm:hotpath
+func DrivePar(n int) {
+	//fmm:allow hotalloc fixture: closure boxed once per call, not per item
+	parstub.ForW(n, func(w, i int) {
+		sink = append(sink, float64(i)) // want `append may grow its backing array in hot path`
+	})
+}
+
+// Plain is unannotated; its markers below exercise the hygiene
+// diagnostics for coldcall itself.
+func Plain(n int) int {
+	x := n + 1 //fmm:coldcall fixture: covers nothing // want `covers no call or function value`
+	return x
+}
+
+// Malformed carries a reason-less coldcall.
+func Malformed(n int) int {
+	y := n //fmm:coldcall // want `malformed //fmm:coldcall`
+	return y
+}
+
+// NoAlloc has an allow covering no potential diagnostic at all: reported
+// unused even under force-scoped prepasses.
+func NoAlloc(n int) int {
+	z := n * 2 //fmm:allow hotalloc fixture: nothing here // want `unused //fmm:allow hotalloc`
+	return z
+}

@@ -1,0 +1,29 @@
+// Package propb has no annotations of its own: every hot/deterministic
+// obligation below arrives by cross-package propagation from propa.
+package propb
+
+import "time"
+
+// Alloc is hot only because propa.Drive is; the diagnostic carries the
+// cross-package chain.
+func Alloc(n int) []float64 {
+	return make([]float64, n) // want `make allocates in hot path \(via Drive → Alloc\)`
+}
+
+// Cold is reached only over a //fmm:coldcall edge in propa: never hot.
+func Cold(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Allowed allocates under a suppression that fires only via propagated
+// scope; the allow must still count as used (no unused-allow hygiene
+// diagnostic on it).
+func Allowed(n int) []float64 {
+	//fmm:allow hotalloc fixture scratch; hot only via cross-package propagation
+	return make([]float64, n)
+}
+
+// Stamp lands in deterministic scope through propa.Reduce.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic scope.*\(via Reduce → Stamp\)`
+}

@@ -10,6 +10,9 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -37,10 +40,13 @@ type unitConfig struct {
 }
 
 // runUnit executes one vet-protocol invocation: parse the unit's files,
-// typecheck them against the dependencies' export data, run the analyzers
-// over the non-test files, and print diagnostics. It returns the process
-// exit code (0 clean, 2 diagnostics, 1 operational error — matching
-// unitchecker's convention, which `go vet` surfaces as a failed package).
+// typecheck them against the dependencies' export data, merge the
+// dependencies' facts into the local call graph, run the analyzers with the
+// reconstructed whole-program scope (facts.go), print the diagnostics that
+// become decidable at this unit, and export cumulative facts. It returns
+// the process exit code (0 clean, 2 diagnostics, 1 operational error —
+// matching unitchecker's convention, which `go vet` surfaces as a failed
+// package).
 func runUnit(cfgFile string, analyzers []*Analyzer) int {
 	b, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -52,19 +58,28 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 		fmt.Fprintf(os.Stderr, "fmmvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The vet driver always expects the facts ("vetx") output file, even
-	// from tools that, like this one, exchange no facts.
+	// The vet driver always expects the facts ("vetx") output file; start
+	// with an empty one so every early exit below satisfies the contract,
+	// then overwrite with real facts at the end.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
 	}
-	// Dependency-only invocations exist to produce facts; nothing to do.
 	// Synthesized test-binary units ("pkg [pkg.test]" and the like) are
-	// skipped too: the plain package invocation already analyzed the
-	// non-test files, and test files are outside fmmvet's scope.
-	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+	// skipped: the plain package invocation already analyzed the non-test
+	// files, and test files are outside fmmvet's scope.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	// Standard-library units are facts-only invocations the go command makes
+	// for dependencies. fmmvet's annotations and closures are defined over
+	// the module's own code — standalone mode never loads GOROOT bodies
+	// either — and collecting them would replay stdlib-internal "findings"
+	// into the root packages whose closures reach fmt or sort. The empty
+	// facts file already written above satisfies the protocol.
+	if cfg.Standard[cfg.ImportPath] || isGorootUnit(&cfg) {
 		return 0
 	}
 
@@ -114,16 +129,168 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 		}
 	}
 	pkg := &PackageInfo{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tp, Info: info}
-	diags, err := RunAnalyzers(pkg, analyzers)
+
+	// Whole-program scope, reconstructed: local graph + dependency facts.
+	annot := ParseAnnotations(fset, files)
+	g := NewGraph()
+	g.Collect(pkg, annot)
+	m, err := loadDepFacts(cfg.PackageVetx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if len(diags) == 0 {
+	graftFacts(g, m, tp)
+	prop := g.Propagate()
+
+	// Conditional prepass: every local function, regardless of scope. The
+	// surviving (allow-filtered) findings become facts for downstream units;
+	// the ones whose function is in scope *here* are reported now, with
+	// their propagation chain.
+	condAll, err := runAnalyzerSet(pkg, analyzers, annot, nil, nil, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	keptCond := annot.Suppress(condAll)
+	localCond := make(map[FuncID][]condFact)
+	var report []Diagnostic
+	for _, d := range keptCond {
+		kind := scopeKind(d.Analyzer)
+		if kind == "all" {
+			report = append(report, d)
+			continue
+		}
+		fd := annot.enclosingFunc(d.Pos)
+		if fd == nil {
+			report = append(report, d)
+			continue
+		}
+		id, ok := g.IDOf(fd)
+		if !ok {
+			continue
+		}
+		localCond[id] = append(localCond[id], condFact{
+			Analyzer: d.Analyzer,
+			PosStr:   fset.Position(d.Pos).String(),
+			Message:  d.Message,
+		})
+		closure := prop.Hot
+		if kind == "det" {
+			closure = prop.Det
+		}
+		if chain, in := closure[id]; in {
+			if len(chain) > 1 {
+				d.Chain = chain
+			}
+			report = append(report, d)
+		}
+	}
+
+	// Dependency functions newly pulled into scope by this unit: replay the
+	// conditional diagnostics their own unit stored, chain attached.
+	report = append(report, replayNewlyClosed(prop.Hot, m.closedHot, m.funcs, "hot")...)
+	report = append(report, replayNewlyClosed(prop.Det, m.closedDet, m.funcs, "det")...)
+
+	// Lock-order cycles first decidable at this unit.
+	sites := make(map[string]bool, len(m.lockAllows))
+	for s := range m.lockAllows {
+		sites[s] = true
+	}
+	var localLockAllows []string
+	for _, s := range annot.AllowSites("lockorder") {
+		key := fmt.Sprintf("%s:%d", s.File, s.Line)
+		localLockAllows = append(localLockAllows, key)
+		sites[key] = true
+	}
+	var handled []string
+	for _, c := range g.LockCycles() {
+		handled = append(handled, c.Key)
+		if m.cycles[c.Key] {
+			continue
+		}
+		if LockCycleAllowed(c, sites) {
+			continue
+		}
+		report = append(report, Diagnostic{
+			PosStr:   LockWitnessPos(c.Witnesses[0]),
+			Analyzer: "lockorder",
+			Message:  RenderLockCycle(c),
+		})
+	}
+
+	names := make([]string, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	names = append(names, "lockorder")
+	diags := annot.Filter(report, names)
+	SortDiagnostics(fset, diags)
+
+	if cfg.VetxOutput != "" {
+		if err := exportFacts(cfg.VetxOutput, g, m, prop, localCond, handled, localLockAllows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		fmt.Fprintln(os.Stderr, Render(fset, d))
 	}
 	return 2
+}
+
+// isGorootUnit reports whether the unit's sources live under GOROOT/src
+// (belt and braces for go versions whose vet config omits the unit's own
+// path from the Standard map).
+func isGorootUnit(cfg *unitConfig) bool {
+	if len(cfg.GoFiles) == 0 {
+		return false
+	}
+	root := runtime.GOROOT()
+	if root == "" {
+		return false
+	}
+	return strings.HasPrefix(cfg.GoFiles[0], filepath.Join(root, "src")+string(filepath.Separator))
+}
+
+// replayNewlyClosed returns the stored conditional diagnostics of dependency
+// functions that enter the closure at this unit.
+func replayNewlyClosed(closure map[FuncID][]string, closed map[FuncID]bool, funcs map[FuncID]*funcFact, kind string) []Diagnostic {
+	ids := make([]FuncID, 0, len(closure))
+	for id := range closure {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	var out []Diagnostic
+	for _, id := range ids {
+		if closed[id] {
+			continue
+		}
+		ff, ok := funcs[id]
+		if !ok {
+			continue // local function; reported from its own AST
+		}
+		for _, c := range ff.Cond {
+			if scopeKind(c.Analyzer) != kind {
+				continue
+			}
+			chain := closure[id]
+			if len(chain) <= 1 {
+				chain = nil
+			}
+			out = append(out, Diagnostic{
+				PosStr:   c.PosStr,
+				Analyzer: c.Analyzer,
+				Message:  c.Message,
+				Chain:    chain,
+			})
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []FuncID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

@@ -110,6 +110,7 @@ func (p *Plan) bluestein(x []complex128, inverse bool) {
 	n, m := p.n, p.m
 	buf, _ := p.scratch.Get().(*[]complex128)
 	if buf == nil {
+		//fmm:allow hotalloc pool cold start; steady state reuses pooled scratch
 		s := make([]complex128, m)
 		buf = &s
 	}

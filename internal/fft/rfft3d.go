@@ -64,6 +64,7 @@ func (p *PlanR3D) rowBuf() *[]complex128 {
 	if p.Nz > m {
 		m = p.Nz
 	}
+	//fmm:allow hotalloc pool cold start; steady state reuses pooled scratch
 	s := make([]complex128, m)
 	return &s
 }
@@ -183,6 +184,7 @@ func (p *PlanR3D) pass(re, im []float64, inverse bool) {
 	nx, ny, hz := p.Nx, p.Ny, p.Hz
 	buf := p.rowBuf()
 	defer p.rows.Put(buf)
+	//fmm:allow hotalloc closure is called directly and never escapes; the escape baseline pins it stack-allocated
 	apply := func(pl *Plan, v []complex128) {
 		if inverse {
 			pl.Inverse(v)

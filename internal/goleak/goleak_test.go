@@ -1,0 +1,52 @@
+package goleak
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+type fakeTB struct{ errs []string }
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+
+func TestCleanCheckPasses(t *testing.T) {
+	f := &fakeTB{}
+	verify := Check(f)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	verify()
+	if len(f.errs) != 0 {
+		t.Fatalf("clean check reported leaks: %v", f.errs)
+	}
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	f := &fakeTB{}
+	verify := Check(f)
+	block := make(chan struct{})
+	go func() { <-block }() // survives the retry window: a leak
+	verify()
+	close(block)
+	if len(f.errs) == 0 {
+		t.Fatal("blocked goroutine not reported as leaked")
+	}
+	if !strings.Contains(f.errs[0], "leaked goroutine") || !strings.Contains(f.errs[0], "TestDetectsLeakedGoroutine") {
+		t.Fatalf("leak report does not name the culprit: %q", f.errs[0])
+	}
+}
+
+func TestRetryWindowAbsorbsSlowTeardown(t *testing.T) {
+	f := &fakeTB{}
+	verify := Check(f)
+	go time.Sleep(200 * time.Millisecond) // unwinds inside the window
+	verify()
+	if len(f.errs) != 0 {
+		t.Fatalf("slow-exiting goroutine reported as leak: %v", f.errs)
+	}
+}

@@ -36,3 +36,27 @@ func TestVListAllocBudget(t *testing.T) {
 	}
 	t.Logf("warm FFT V-list pass: %.0f allocations (budget %d)", allocs, budget)
 }
+
+// TestOperatorCacheAllocs pins the warm-hit allocation count of the two
+// copy-on-write operator caches at zero. Both sat on sync.Map before, which
+// boxes every lookup key into any — one heap allocation per M2L matrix
+// fetch (every dense V-list interaction) and per levelFor table fetch
+// (every downward translation of a non-homogeneous kernel); fmmvet's
+// hotalloc analyzer surfaced both through the vliDenseNode and downwardNode
+// chains.
+func TestOperatorCacheAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates AllocsPerRun")
+	}
+	ops := NewOperators(kernel.Laplace{}, 4, 1e-8)
+	ops.M2LAt(2, 2, 0, 0) // build and cache the direction
+	if a := testing.AllocsPerRun(100, func() { ops.M2LAt(2, 2, 0, 0) }); a != 0 {
+		t.Errorf("warm M2LAt hit: %.0f allocations, want 0", a)
+	}
+
+	yuk := NewOperators(kernel.Yukawa{Lambda: 5}, 4, 1e-8)
+	yuk.D2DOp(2, 3) // build and cache the per-level table
+	if a := testing.AllocsPerRun(100, func() { yuk.D2DOp(2, 3) }); a != 0 {
+		t.Errorf("warm non-homogeneous D2DOp hit: %.0f allocations, want 0", a)
+	}
+}

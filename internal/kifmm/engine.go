@@ -319,6 +319,7 @@ func (s *evalScratch) surf() (sx, sy, sz []float64) { return s.sx, s.sy, s.sz }
 // grid returns the worker's real-grid FFT scratch of length n.
 func (s *evalScratch) grid(n int) []float64 {
 	if len(s.vgrid) != n {
+		//fmm:allow hotalloc per-worker scratch grows once per shape change, then is reused
 		s.vgrid = make([]float64, n)
 	}
 	return s.vgrid
@@ -329,6 +330,7 @@ func (s *evalScratch) grid(n int) []float64 {
 // the shape matches.
 func (s *evalScratch) fftAcc(n int) []float64 {
 	if len(s.vacc) != n {
+		//fmm:allow hotalloc per-worker scratch grows once per shape change, then is reused
 		s.vacc = make([]float64, n)
 		return s.vacc
 	}
@@ -453,7 +455,7 @@ func (e *Engine) timed(phase string) func() {
 	if e.Prof == nil {
 		return func() {}
 	}
-	return e.Prof.Start(phase)
+	return e.Prof.Start(phase) //fmm:coldcall instrumentation; profiler timestamps never feed back into results
 }
 
 // S2U computes upward-equivalent densities of every local leaf from its

@@ -127,13 +127,18 @@ func (f *FFTM2L) Translation(dx, dy, dz int) []float64 {
 // cache: concurrent callers racing on one direction build it exactly once.
 func (f *FFTM2L) TranslationAt(level, dx, dy, dz int) []float64 {
 	key := tfKey{Kern: f.kid, P: f.ops.Grid.P, Level: level, Dir: packDir(dx, dy, dz)}
+	//fmm:allow hotalloc build closure is called directly by Get and never escapes; stack-allocated
 	return f.cache.Get(key, func() []float64 {
 		return f.buildTranslation(level, dx, dy, dz)
 	})
 }
 
 // buildTranslation evaluates the kernel translation tensor on the padded
-// lattice and forward-transforms each component pair's real grid.
+// lattice and forward-transforms each component pair's real grid. It runs
+// only on a translation-cache miss: once per (kernel, order, level,
+// direction) over the process lifetime.
+//
+//fmm:coldcall translation spectra are built once per direction and cached process-wide
 func (f *FFTM2L) buildTranslation(level, dx, dy, dz int) []float64 {
 	kern := f.ops.Kern
 	sd, td := kern.SrcDim(), kern.TrgDim()

@@ -41,8 +41,12 @@ type Operators struct {
 	// downward-check potential at the reference scale (prefer D2DOp).
 	D2D [8]*linalg.Mat
 
-	m2l      sync.Map // map[uint64]*linalg.Mat: packed (level, direction)
-	perLevel sync.Map // map[int]*levelOps (non-homogeneous kernels)
+	// m2l caches dense V-list matrices by packed (level, direction);
+	// perLevel caches per-level surface-operator tables for
+	// non-homogeneous kernels. Both are copy-on-write so the hot lookup
+	// path is allocation-free (sync.Map would box every key).
+	m2l      cowCache[uint64, *linalg.Mat]
+	perLevel cowCache[int, *levelOps]
 
 	fftOnce sync.Once
 	fft     *FFTM2L
@@ -104,12 +108,18 @@ func (o *Operators) buildLevel(l int) *levelOps {
 // levelFor returns (building if needed) the per-level table for a
 // non-homogeneous kernel.
 func (o *Operators) levelFor(l int) *levelOps {
-	if v, ok := o.perLevel.Load(l); ok {
-		return v.(*levelOps)
+	if v, ok := o.perLevel.get(l); ok {
+		return v
 	}
-	built := o.buildLevel(l)
-	actual, _ := o.perLevel.LoadOrStore(l, built)
-	return actual.(*levelOps)
+	return o.levelForSlow(l)
+}
+
+// levelForSlow builds and caches the per-level table on a cache miss; it
+// runs once per (kernel, level) pair over the lifetime of the Operators.
+//
+//fmm:coldcall per-level operator tables are built once per level and cached
+func (o *Operators) levelForSlow(l int) *levelOps {
+	return o.perLevel.insert(l, o.buildLevel(l))
 }
 
 // Homogeneous reports whether the kernel admits the single-reference-level
@@ -226,9 +236,18 @@ func (o *Operators) M2LAt(level, dx, dy, dz int) (*linalg.Mat, float64) {
 		scale = o.KernScale(level)
 	}
 	key := packLevelDir(cacheLevel, dir)
-	if m, ok := o.m2l.Load(key); ok {
-		return m.(*linalg.Mat), scale
+	if m, ok := o.m2l.get(key); ok {
+		return m, scale
 	}
+	return o.buildM2L(key, cacheLevel, dx, dy, dz), scale
+}
+
+// buildM2L evaluates and caches one dense V-list matrix on a cache miss; a
+// direction is built once per (kernel, cache level) and reused for every
+// later translation.
+//
+//fmm:coldcall dense V-list matrices are built once per direction and cached
+func (o *Operators) buildM2L(key uint64, cacheLevel, dx, dy, dz int) *linalg.Mat {
 	side := math.Pow(2, -float64(cacheLevel))
 	half := side / 2
 	srcCenter := geom.Point{}
@@ -236,8 +255,7 @@ func (o *Operators) M2LAt(level, dx, dy, dz int) (*linalg.Mat, float64) {
 	ue := o.Grid.Points(srcCenter, RadInner*half)
 	dc := o.Grid.Points(trgCenter, RadInner*half)
 	m := kernel.Matrix(o.Kern, dc, ue)
-	actual, _ := o.m2l.LoadOrStore(key, m)
-	return actual.(*linalg.Mat), scale
+	return o.m2l.insert(key, m)
 }
 
 func maxAbs3(a, b, c int) int {

@@ -6,18 +6,21 @@ func FromPoint(x, y, z float64, l int) Key {
 	if l < 0 || l > MaxDepth {
 		panic("morton: invalid level")
 	}
-	toUnits := func(v float64) uint32 {
-		if v < 0 {
-			v = 0
-		}
-		u := int64(v * MaxCoord)
-		if u >= MaxCoord {
-			u = MaxCoord - 1
-		}
-		return uint32(u)
-	}
 	k := Key{X: toUnits(x), Y: toUnits(y), Z: toUnits(z), L: MaxDepth}
 	return k.AncestorAt(l)
+}
+
+// toUnits clamps a unit-cube coordinate to [0, 1) and scales it to integer
+// lattice units at MaxDepth.
+func toUnits(v float64) uint32 {
+	if v < 0 {
+		v = 0
+	}
+	u := int64(v * MaxCoord)
+	if u >= MaxCoord {
+		u = MaxCoord - 1
+	}
+	return uint32(u)
 }
 
 // Side returns the octant's side length in unit-cube coordinates.

@@ -1,15 +1,21 @@
 package morton
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
-// SortKeys sorts keys in place into Morton preorder.
+// SortKeys sorts keys in place into Morton preorder. slices.SortFunc takes
+// the slice as a typed parameter, so sorting allocates nothing (sort.Slice
+// would box the slice into any and heap-allocate the comparison closure on
+// every call — it sat in the hot delta-re-plan path via dedupKeys).
 func SortKeys(ks []Key) {
-	sort.Slice(ks, func(i, j int) bool { return Compare(ks[i], ks[j]) < 0 })
+	slices.SortFunc(ks, Compare)
 }
 
 // KeysAreSorted reports whether keys are in nondecreasing Morton preorder.
 func KeysAreSorted(ks []Key) bool {
-	return sort.SliceIsSorted(ks, func(i, j int) bool { return Compare(ks[i], ks[j]) < 0 })
+	return slices.IsSortedFunc(ks, Compare)
 }
 
 // SearchKeys returns the smallest index i such that ks[i] >= k (ks must be

@@ -277,8 +277,9 @@ func (g *Graph) Run(opt Options) (Stats, error) {
 		return Stats{}, fmt.Errorf("sched: graph already run")
 	}
 	g.started = true
-	t0 := time.Now()
+	t0 := time.Now() //fmm:allow nodeterm wall-clock is reported in Stats only; task results never read it
 	if len(g.tasks) == 0 {
+		//fmm:allow nodeterm wall-clock is reported in Stats only; task results never read it
 		return Stats{Wall: time.Since(t0)}, nil
 	}
 	if err := g.checkAcyclic(); err != nil {
@@ -286,7 +287,7 @@ func (g *Graph) Run(opt Options) (Stats, error) {
 	}
 	workers := opt.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = runtime.GOMAXPROCS(0) //fmm:allow nodeterm worker-count default; reductions are plan-sequenced, results are identical for any worker count
 	}
 	if workers > len(g.tasks) {
 		workers = len(g.tasks)
@@ -337,7 +338,7 @@ func (g *Graph) Run(opt Options) (Stats, error) {
 		st.Stolen += ws.Stolen
 		st.Idle += ws.Idle
 	}
-	st.Wall = time.Since(t0)
+	st.Wall = time.Since(t0) //fmm:allow nodeterm wall-clock is reported in Stats only; task results never read it
 	if r.trace != nil {
 		r.trace.finish()
 	}
@@ -395,7 +396,7 @@ func (g *Graph) checkAcyclic() error {
 }
 
 func (r *runner) work(w int) {
-	rng := rand.New(rand.NewSource(int64(w)*0x9e3779b9 + 1))
+	rng := rand.New(rand.NewSource(int64(w)*0x9e3779b9 + 1)) //fmm:allow nodeterm steal-victim randomization affects the schedule only; results combine through plan-sequenced reductions
 	var stolen []TaskID
 	for {
 		id, ok := r.deques[w].pop()
@@ -413,14 +414,14 @@ func (r *runner) work(w int) {
 // sweeps over the other workers, then parking. It returns false when the
 // graph has drained.
 func (r *runner) findWork(w int, rng *rand.Rand, stolen *[]TaskID) (TaskID, bool) {
-	idle0 := time.Now()
+	idle0 := time.Now() //fmm:allow nodeterm idle time is reported in Stats only; task results never read it
 	defer func() { r.stats[w].Idle += time.Since(idle0) }()
 	for {
 		if id, ok := r.popOverflow(); ok {
 			return id, true
 		}
 		// One full randomized sweep over potential victims.
-		base := rng.Intn(r.workers)
+		base := rng.Intn(r.workers) //fmm:allow nodeterm steal-victim randomization affects the schedule only; results combine through plan-sequenced reductions
 		for k := 0; k < r.workers; k++ {
 			v := (base + k) % r.workers
 			if v == w || r.deques[v].size.Load() == 0 {
@@ -504,8 +505,9 @@ func (r *runner) execute(w int, id TaskID) {
 				}
 			}()
 			if r.trace != nil {
-				start := time.Now()
+				start := time.Now() //fmm:allow nodeterm trace timestamps are diagnostic output only
 				t.run(w)
+				//fmm:allow nodeterm trace timestamps are diagnostic output only
 				r.trace.add(w, t.name, int32(id), start, time.Since(start))
 			} else {
 				t.run(w)

@@ -32,7 +32,7 @@ type traceEvent struct {
 func NewTrace() *Trace { return &Trace{} }
 
 func (t *Trace) start(workers int) {
-	t.t0 = time.Now()
+	t.t0 = time.Now() //fmm:allow nodeterm trace timestamps are diagnostic output only
 	t.perWork = make([][]traceEvent, workers)
 }
 
@@ -40,6 +40,7 @@ func (t *Trace) add(w int, name string, id int32, start time.Time, dur time.Dura
 	t.perWork[w] = append(t.perWork[w], traceEvent{name: name, id: id, start: start, dur: dur})
 }
 
+//fmm:allow nodeterm trace timestamps are diagnostic output only
 func (t *Trace) finish() { t.wall = time.Since(t.t0) }
 
 // Events returns the total number of recorded task events.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"kifmm/internal/goleak"
 )
 
 // TestConcurrentLoadWarmVsCold is the acceptance load test: ≥8 concurrent
@@ -137,6 +139,9 @@ func TestBackpressureQueueFull(t *testing.T) {
 // TestGracefulShutdownDrains verifies that Shutdown completes every
 // admitted request and rejects late arrivals.
 func TestGracefulShutdownDrains(t *testing.T) {
+	// Drain means drained: no admission worker, queued request, or HTTP
+	// plumbing goroutine may survive Shutdown.
+	defer goleak.Check(t)()
 	const clients = 8
 	s := New(Config{Workers: 2, QueueDepth: 16, RequestTimeout: 5 * time.Minute})
 	ts := httptest.NewServer(s)

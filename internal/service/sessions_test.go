@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"kifmm/internal/goleak"
 )
 
 func TestCachePinSurvivesEviction(t *testing.T) {
@@ -218,6 +220,9 @@ func TestSessionCapacity429(t *testing.T) {
 }
 
 func TestSessionTTLExpiry(t *testing.T) {
+	// The janitor ticker and the expired session's engine state must both
+	// be gone once the server shuts down.
+	defer goleak.Check(t)()
 	s := New(Config{Workers: 1, SessionTTL: 50 * time.Millisecond})
 	defer s.Shutdown(context.Background())
 	ts := httptest.NewServer(s)

@@ -418,6 +418,7 @@ func (s *Session) migrate(d Delta, migrant []bool, removing map[int]bool, added 
 func (s *Session) dropMember(li int32, id int) {
 	m := s.members[li]
 	k := sort.SearchInts(m, id)
+	//fmm:allow hotalloc removal append shifts within the existing backing array; it never grows
 	s.members[li] = append(m[:k], m[k+1:]...)
 }
 
@@ -428,15 +429,17 @@ func (s *Session) insert(id int) {
 	ni := s.tree.DescendTo(p.X, p.Y, p.Z)
 	if n := &s.tree.Nodes[ni]; !n.IsLeaf {
 		ci := n.Key.ChildContaining(p.X, p.Y, p.Z)
-		c := s.tree.AddChild(ni, ci)
+		c := s.tree.AddChild(ni, ci) //fmm:coldcall new-leaf materialization; structural tree growth is rare and amortized
 		s.tree.Nodes[c].IsLeaf = true
+		//fmm:allow hotalloc new-leaf materialization branch; runs once per created leaf
 		s.members = append(s.members, nil)
+		//fmm:allow hotalloc new-leaf materialization branch; runs once per created leaf
 		s.sites = append(s.sites, s.tree.Nodes[ni].Key)
 		ni = c
 	}
 	m := s.members[ni]
 	k := sort.SearchInts(m, id)
-	m = append(m, 0)
+	m = append(m, 0) //fmm:allow hotalloc sorted membership insert; amortized slice growth
 	copy(m[k+1:], m[k:])
 	m[k] = id
 	s.members[ni] = m
@@ -560,7 +563,7 @@ func (s *Session) patchStep(info *Info) {
 	}
 	sites := dedupKeys(s.sites)
 	if len(sites) > s.cfg.MaxPatchSites {
-		s.tree.BuildLists(nil)
+		s.tree.BuildLists(nil) //fmm:coldcall full-rebuild fallback; taken only when the dirty set exceeds MaxPatchSites
 		info.FullListRebuild = true
 		return
 	}
@@ -575,7 +578,7 @@ func (s *Session) patchStep(info *Info) {
 		return false
 	}
 	//fmm:allow hotalloc boxed once per step, not per node
-	t.PatchLists(func(i int32) bool {
+	t.PatchLists(func(i int32) bool { //fmm:coldcall delta re-plan repatches dirty nodes; allocation scales with the dirty set, not the tree
 		n := &t.Nodes[i]
 		d := near(n.Key) || (n.Parent != octree.NoNode && near(t.Nodes[n.Parent].Key))
 		if d {

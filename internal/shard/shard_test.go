@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"kifmm/internal/geom"
+	"kifmm/internal/goleak"
 	"kifmm/internal/kernel"
 	"kifmm/internal/kifmm"
 	"kifmm/internal/octree"
@@ -83,6 +84,9 @@ const diffTol = 1e-9
 // count and both communication backends, the sharded apply must agree with
 // the single-engine oracle up to reduction summation order (see diffTol).
 func TestShardedMatchesOracleLaplace(t *testing.T) {
+	// Every rank goroutine and comm-backend mailbox spun up by the
+	// coordinated applies must be gone when the plans are released.
+	defer goleak.Check(t)()
 	kern := kernel.Laplace{}
 	for _, dist := range []geom.Distribution{geom.Uniform, geom.Ellipsoid} {
 		tr, ops, den := buildCase(t, kern, dist, 3000, 40, 6)

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# lint_inject.sh — negative tests for the fmmvet lint gate.
+#
+# A static-analysis gate fails silently: a stale escape baseline, an
+# over-broad //fmm:allow, or a propagation bug makes `make lint` pass while
+# the invariant it guards has rotted. This script proves the gate still
+# bites by copying the tree to a scratch directory, planting three known-bad
+# changes, and asserting that each one FAILS `go run ./cmd/fmmvet ./...`
+# with the expected diagnostic:
+#
+#   1. a cross-package hot-path allocation (hotalloc, with the propagation
+#      chain naming both sides of the package boundary)
+#   2. an AB/BA lock-order cycle (lockorder)
+#   3. a hot-path heap-escape regression (escape, diffed against the
+#      checked-in escape_baseline.txt)
+#
+# Run from the module root: ./scripts/lint_inject.sh  (or `make lint-inject`).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/fmmvet-inject.XXXXXX")"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+fail() {
+    echo "lint-inject: FAIL: $*" >&2
+    exit 1
+}
+
+# fresh_copy populates $SCRATCH/repo with a pristine copy of the tree
+# (sans VCS metadata and built binaries).
+fresh_copy() {
+    rm -rf "$SCRATCH/repo"
+    mkdir -p "$SCRATCH/repo"
+    tar -C "$ROOT" --exclude=.git --exclude=bin -cf - . | tar -C "$SCRATCH/repo" -xf -
+}
+
+# run_fmmvet runs the standalone whole-program checker over the scratch
+# copy, capturing combined output in $OUT and the exit status in $STATUS.
+run_fmmvet() {
+    OUT="$(cd "$SCRATCH/repo" && go run ./cmd/fmmvet ./... 2>&1)"
+    STATUS=$?
+}
+
+# expect_failure INJECTION-NAME NEEDLE asserts the last run failed and its
+# output contains NEEDLE.
+expect_failure() {
+    local name="$1" needle="$2"
+    if [ "$STATUS" -eq 0 ]; then
+        fail "$name: fmmvet passed; expected a diagnostic containing: $needle"
+    fi
+    if ! printf '%s' "$OUT" | grep -qF "$needle"; then
+        echo "$OUT" >&2
+        fail "$name: fmmvet failed but without the expected diagnostic: $needle"
+    fi
+    echo "lint-inject: ok: $name rejected (${needle})"
+}
+
+# --- 0. the pristine copy must pass, or every assertion below is vacuous ---
+fresh_copy
+run_fmmvet
+if [ "$STATUS" -ne 0 ]; then
+    echo "$OUT" >&2
+    fail "pristine copy does not pass fmmvet; fix the tree before testing injections"
+fi
+echo "lint-inject: ok: pristine copy passes"
+
+# --- 1. cross-package hot-path allocation -----------------------------------
+# The allocation lives in internal/morton; the //fmm:hotpath root that pulls
+# it into the hot closure lives in internal/session. Only interprocedural
+# propagation can connect them, and the diagnostic must carry the chain.
+fresh_copy
+cat > "$SCRATCH/repo/internal/morton/zz_inject.go" <<'EOF'
+package morton
+
+// InjectAlloc is planted by scripts/lint_inject.sh: an allocation that is
+// cold here and becomes hot only through a caller in another package.
+func InjectAlloc(n int) []float64 {
+	return make([]float64, n)
+}
+EOF
+cat > "$SCRATCH/repo/internal/session/zz_inject.go" <<'EOF'
+package session
+
+import "kifmm/internal/morton"
+
+var injectSink []float64
+
+// injectDrive is planted by scripts/lint_inject.sh.
+//
+//fmm:hotpath
+func injectDrive(n int) {
+	injectSink = morton.InjectAlloc(n)
+}
+EOF
+run_fmmvet
+expect_failure "cross-package hot allocation" "make allocates in hot path"
+expect_failure "cross-package hot allocation chain" "via injectDrive → InjectAlloc"
+
+# --- 2. AB/BA lock-order cycle ----------------------------------------------
+fresh_copy
+cat > "$SCRATCH/repo/internal/sched/zz_inject.go" <<'EOF'
+package sched
+
+import "sync"
+
+// injectState is planted by scripts/lint_inject.sh: two mutexes acquired
+// in opposite orders on two paths.
+type injectState struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *injectState) injectAB() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *injectState) injectBA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+EOF
+run_fmmvet
+expect_failure "lock-order cycle" "potential deadlock: lock-order cycle"
+
+# --- 3. hot-path heap-escape regression -------------------------------------
+# A hot function that lets a parameter escape to the heap: the compiler's
+# -m=1 output gains a "moved to heap" line absent from escape_baseline.txt.
+fresh_copy
+cat > "$SCRATCH/repo/internal/morton/zz_inject.go" <<'EOF'
+package morton
+
+var escSink *float64
+
+// injectEscape is planted by scripts/lint_inject.sh: taking the address of
+// a parameter that outlives the call moves it to the heap, which only the
+// compiler-backed escape diff can see (hotalloc has no model of escape).
+//
+//fmm:hotpath
+func injectEscape(x float64) {
+	escSink = &x
+}
+EOF
+run_fmmvet
+expect_failure "escape regression" "new heap escape in hot-path function"
+
+echo "lint-inject: PASS: all planted regressions rejected"
